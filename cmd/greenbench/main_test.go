@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/metaopt"
+	"repro/internal/openml"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"fig99"}, bench.Config{}, metaopt.Options{}, "", "", "")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTinyFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small grid")
+	}
+	spec, _ := openml.ByName("credit-g")
+	cfg := bench.Config{
+		Datasets: []openml.Spec{spec},
+		Budgets:  []time.Duration{10 * time.Second},
+		Seeds:    1,
+		Scale:    openml.SmallScale(),
+	}
+	if err := run([]string{"fig4"}, cfg, metaopt.Options{}, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}

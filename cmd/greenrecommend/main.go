@@ -1,0 +1,54 @@
+// Command greenrecommend runs the paper's Figure 8 guideline: given the
+// parameters of an ML application, it recommends the most energy-efficient
+// AutoML system.
+//
+// Usage:
+//
+//	greenrecommend -budget 30s -classes 5 -priority accuracy
+//	greenrecommend -cluster -executions 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	greenautoml "repro"
+)
+
+func main() {
+	var (
+		cluster    = flag.Bool("cluster", false, "at least one 28-core-class machine available for >1 week")
+		executions = flag.Int("executions", 1, "planned AutoML executions on new datasets")
+		budget     = flag.Duration("budget", 30*time.Second, "per-run search budget")
+		classes    = flag.Int("classes", 2, "number of classes")
+		gpu        = flag.Bool("gpu", false, "GPU available")
+		priority   = flag.String("priority", "pareto", "priority: pareto | inference | accuracy")
+	)
+	flag.Parse()
+
+	var p greenautoml.Priority
+	switch *priority {
+	case "pareto":
+		p = greenautoml.PriorityPareto
+	case "inference":
+		p = greenautoml.PriorityFastInference
+	case "accuracy":
+		p = greenautoml.PriorityAccuracy
+	default:
+		fmt.Fprintf(os.Stderr, "greenrecommend: unknown priority %q (want pareto, inference or accuracy)\n", *priority)
+		os.Exit(2)
+	}
+
+	rec := greenautoml.Recommend(greenautoml.Task{
+		WeeklyClusterAccess: *cluster,
+		PlannedExecutions:   *executions,
+		SearchBudget:        *budget,
+		Classes:             *classes,
+		GPUAvailable:        *gpu,
+		Priority:            p,
+	})
+	fmt.Printf("recommended system: %s\n", rec.SystemName)
+	fmt.Printf("rationale: %s\n", rec.Rationale)
+}

@@ -1,0 +1,138 @@
+// Command greenrun executes one AutoML system on a user-supplied CSV
+// dataset under the energy meter and reports predictive performance next
+// to the consumed energy — the paper's measurement loop for your own data.
+//
+// Usage:
+//
+//	greenrun -data mydata.csv -target label -system caml -budget 30s
+//	greenrun -data mydata.csv -system autogluon -cores 8 -timeline trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	greenautoml "repro"
+	"repro/internal/energy"
+	"repro/internal/tabular"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "path to the CSV dataset (required)")
+		target    = flag.String("target", "", "label column name (default: last column)")
+		system    = flag.String("system", "caml", "system: caml | caml-tuned | autogluon | autogluon-fast | asklearn1 | asklearn2 | flaml | tabpfn | tpot")
+		budget    = flag.Duration("budget", 30*time.Second, "virtual search budget")
+		cores     = flag.Int("cores", 1, "allotted CPU cores on the modelled testbed")
+		gpu       = flag.Bool("gpu", false, "use the T4 GPU testbed with offload enabled")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		timeline  = flag.String("timeline", "", "write a CodeCarbon-style consumption timeline CSV to this path")
+		splitSeed = flag.Uint64("split-seed", 7, "seed of the 66/34 train/test split")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "greenrun: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sys, err := buildSystem(*system, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greenrun:", err)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greenrun:", err)
+		os.Exit(1)
+	}
+	ds, err := tabular.ReadCSV(f, tabular.CSVOptions{TargetColumn: *target})
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greenrun:", err)
+		os.Exit(1)
+	}
+	ds.Name = *dataPath
+
+	train, test := greenautoml.Split(ds, *splitSeed)
+
+	machine := greenautoml.CPUTestbed()
+	if *gpu {
+		machine = greenautoml.GPUTestbed()
+	}
+	meter := greenautoml.NewMeter(machine, *cores)
+	if *gpu {
+		meter.SetGPUMode(energy.GPUActive)
+	}
+	var trace *energy.Timeline
+	if *timeline != "" {
+		trace = &energy.Timeline{}
+		meter.SetTimeline(trace)
+	}
+
+	res, err := sys.Fit(train, greenautoml.Options{Budget: *budget, Meter: meter, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greenrun:", err)
+		os.Exit(1)
+	}
+	pred, err := res.Predict(test.X, meter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greenrun:", err)
+		os.Exit(1)
+	}
+	acc := greenautoml.BalancedAccuracy(test.Y, pred, test.Classes)
+	report := meter.Tracker().Snapshot()
+
+	fmt.Printf("dataset:            %s (%d rows, %d features, %d classes)\n", ds.Name, ds.Rows(), ds.Features(), ds.Classes)
+	fmt.Printf("system:             %s on %s (%d cores)\n", res.System, machine.Name, *cores)
+	fmt.Printf("search:             budget %s, actual %s, %d pipelines evaluated\n",
+		*budget, res.ExecTime.Round(10*time.Millisecond), res.Evaluated)
+	fmt.Printf("balanced accuracy:  %.4f on %d held-out rows\n", acc, test.Rows())
+	fmt.Printf("execution energy:   %.6f kWh\n", report.ExecutionKWh)
+	fmt.Printf("inference energy:   %.4g kWh/instance\n", report.InferenceKWh/float64(test.Rows()))
+	fmt.Printf("footprint:          %.6f kg CO2, %.6f EUR\n", report.CO2Kg(), report.CostEUR())
+
+	if trace != nil {
+		out, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenrun:", err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := trace.WriteCSV(out); err != nil {
+			fmt.Fprintln(os.Stderr, "greenrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline:           %d samples -> %s\n", trace.Len(), *timeline)
+	}
+}
+
+// buildSystem maps the CLI name to a system constructor.
+func buildSystem(name string, budget time.Duration) (greenautoml.System, error) {
+	switch strings.ToLower(name) {
+	case "caml":
+		return greenautoml.CAML(), nil
+	case "caml-tuned":
+		return greenautoml.TunedCAML(budget), nil
+	case "autogluon":
+		return greenautoml.AutoGluon(), nil
+	case "autogluon-fast":
+		return greenautoml.AutoGluonFastInference(), nil
+	case "asklearn1":
+		return greenautoml.AutoSklearn1(), nil
+	case "asklearn2":
+		return greenautoml.AutoSklearn2(), nil
+	case "flaml":
+		return greenautoml.FLAML(), nil
+	case "tabpfn":
+		return greenautoml.TabPFN(), nil
+	case "tpot":
+		return greenautoml.TPOT(), nil
+	default:
+		return nil, fmt.Errorf("unknown system %q", name)
+	}
+}

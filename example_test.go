@@ -1,0 +1,59 @@
+package greenautoml_test
+
+import (
+	"fmt"
+	"time"
+
+	greenautoml "repro"
+)
+
+// ExampleRecommend walks the paper's Figure 8 guideline for three typical
+// situations.
+func ExampleRecommend() {
+	// An AutoML-as-a-service provider: development compute available,
+	// thousands of runs planned.
+	service := greenautoml.Recommend(greenautoml.Task{
+		WeeklyClusterAccess: true,
+		PlannedExecutions:   5000,
+		SearchBudget:        5 * time.Minute,
+	})
+	fmt.Println(service.SystemName)
+
+	// An analyst exploring a small dataset ad hoc, GPU at hand.
+	adhoc := greenautoml.Recommend(greenautoml.Task{
+		SearchBudget: 5 * time.Second,
+		Classes:      3,
+		GPUAvailable: true,
+	})
+	fmt.Println(adhoc.SystemName)
+
+	// A fraud-detection deployment: millions of predictions, inference
+	// energy dominates.
+	fraud := greenautoml.Recommend(greenautoml.Task{
+		SearchBudget: time.Minute,
+		Priority:     greenautoml.PriorityFastInference,
+	})
+	fmt.Println(fraud.SystemName)
+
+	// Output:
+	// CAML(tuned)
+	// TabPFN
+	// FLAML
+}
+
+// ExampleCO2Kg reproduces a cell of the paper's Table 4: TabPFN's 404,649
+// kWh for a trillion predictions at Germany's grid intensity.
+func ExampleCO2Kg() {
+	fmt.Printf("%.0f kg CO2\n", greenautoml.CO2Kg(404649))
+	// Output:
+	// 89832 kg CO2
+}
+
+// ExampleDataset shows the synthetic replica of an AMLB task.
+func ExampleDataset() {
+	ds := greenautoml.Dataset("credit-g", 1)
+	train, test := greenautoml.Split(ds, 2)
+	fmt.Println(ds.Classes, "classes;", train.Rows(), "train rows;", test.Rows(), "test rows")
+	// Output:
+	// 2 classes; 66 train rows; 34 test rows
+}

@@ -1,0 +1,174 @@
+// Package greenautoml reproduces the study "How Green is AutoML for
+// Tabular Data?" (Neutatz, Lindauer, Abedjan — EDBT 2025) as a
+// self-contained Go library.
+//
+// The package is the public facade over the internal building blocks:
+//
+//   - seven AutoML systems re-implemented from their published
+//     architectures (AutoGluon, AutoSklearn 1 & 2, FLAML, TabPFN, TPOT,
+//     CAML) plus the paper's development-stage-tuned CAML;
+//   - a CodeCarbon-equivalent energy meter over a virtual clock and an
+//     explicit hardware power model (the paper's two testbeds ship as
+//     presets);
+//   - deterministic synthetic replicas of the 39 AMLB benchmark datasets
+//     and the 124 binary meta-train datasets;
+//   - the benchmark harness regenerating every figure and table of the
+//     paper's evaluation;
+//   - the Figure 8 guideline as an executable recommendation function.
+//
+// Quick start:
+//
+//	ds := greenautoml.Dataset("adult", 1)
+//	train, test := greenautoml.Split(ds, 7)
+//	meter := greenautoml.NewMeter(greenautoml.CPUTestbed(), 1)
+//	result, err := greenautoml.CAML().Fit(train, greenautoml.Options{
+//		Budget: 30 * time.Second,
+//		Meter:  meter,
+//		Seed:   42,
+//	})
+//	// result.Predict(test.X, meter) charges inference energy to the meter.
+package greenautoml
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/automl"
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/metaopt"
+	"repro/internal/metrics"
+	"repro/internal/openml"
+	"repro/internal/tabular"
+)
+
+// Re-exported core types. The facade aliases rather than wraps so that
+// advanced users keep full access to the underlying APIs.
+type (
+	// System is one AutoML system under study.
+	System = automl.System
+	// Options configure one AutoML execution.
+	Options = automl.Options
+	// Result is the outcome of one AutoML execution.
+	Result = automl.Result
+	// Meter tracks energy over virtual time on a modelled machine.
+	Meter = energy.Meter
+	// Machine models a hardware testbed.
+	Machine = hw.Machine
+	// Table carries a dataset.
+	Table = tabular.Dataset
+	// EnergyReport is a per-stage energy snapshot with CO₂/cost
+	// conversions.
+	EnergyReport = energy.Report
+)
+
+// Stage constants for energy accounting.
+const (
+	StageDevelopment = energy.Development
+	StageExecution   = energy.Execution
+	StageInference   = energy.Inference
+)
+
+// System constructors (paper §2.2 lineup).
+var (
+	// AutoGluon builds the ensembling-centric system (bagging,
+	// stacking, Caruana weighting).
+	AutoGluon = func() System { return automl.NewAutoGluon() }
+	// AutoGluonFastInference builds the inference-optimized preset.
+	AutoGluonFastInference = func() System { return automl.NewAutoGluonFastInference() }
+	// AutoSklearn1 builds auto-sklearn with random initialization.
+	AutoSklearn1 = func() System { return automl.NewAutoSklearn1() }
+	// AutoSklearn2 builds auto-sklearn 2 with meta-learned warm starts.
+	AutoSklearn2 = func() System { return automl.NewAutoSklearn2() }
+	// FLAML builds the cost-frugal searcher.
+	FLAML = func() System { return automl.NewFLAML() }
+	// TabPFN builds the zero-shot prior-fitted network.
+	TabPFN = func() System { return automl.NewTabPFN() }
+	// TPOT builds the genetic-programming searcher.
+	TPOT = func() System { return automl.NewTPOT() }
+	// CAML builds the constraint-aware system with default parameters.
+	CAML = func() System { return automl.NewCAML() }
+)
+
+// TunedCAML returns CAML configured with development-stage-tuned
+// parameters for the given search budget (paper §3.7). Run Tune for a real
+// tuning pass; this uses the published Table 5 presets.
+func TunedCAML(budget time.Duration) System {
+	return automl.NewTunedCAML(automl.DefaultTunedParams(budget))
+}
+
+// ConstrainedCAML returns CAML with a per-instance inference-time
+// constraint (paper §3.4).
+func ConstrainedCAML(inferenceLimit time.Duration) System {
+	params := automl.DefaultCAMLParams()
+	params.InferenceLimit = inferenceLimit
+	return &automl.CAML{Params: params, Label: fmt.Sprintf("CAML(c=%s)", inferenceLimit)}
+}
+
+// CPUTestbed returns the paper's 28-core Xeon Gold 6132 machine model.
+func CPUTestbed() *Machine { return hw.XeonGold6132() }
+
+// GPUTestbed returns the paper's 8-core + NVIDIA T4 machine model.
+func GPUTestbed() *Machine { return hw.T4Machine() }
+
+// NewMeter creates an energy meter on the given machine with the given
+// allotted core count.
+func NewMeter(machine *Machine, cores int) *Meter { return energy.NewMeter(machine, cores) }
+
+// Dataset generates the synthetic replica of the named AMLB dataset
+// (paper Table 2) at the default scale. It panics on unknown names; use
+// DatasetNames for the list.
+func Dataset(name string, seed uint64) *Table {
+	spec, ok := openml.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("greenautoml: unknown dataset %q", name))
+	}
+	return openml.Generate(spec, openml.DefaultScale(), seed)
+}
+
+// DatasetNames lists the 39 benchmark dataset names of paper Table 2.
+func DatasetNames() []string {
+	specs := openml.Suite()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Split produces the paper's 66/34 stratified train/test split.
+func Split(ds *Table, seed uint64) (train, test *Table) {
+	rng := rand.New(rand.NewPCG(seed, 0x511))
+	return ds.TrainTestSplit(rng)
+}
+
+// BalancedAccuracy is the study's predictive metric: mean per-class
+// recall.
+func BalancedAccuracy(yTrue, yPred []int, classes int) float64 {
+	return metrics.BalancedAccuracy(yTrue, yPred, classes)
+}
+
+// CO2Kg converts kWh to kilograms of CO₂ at the paper's German grid
+// intensity (0.222 kg/kWh).
+func CO2Kg(kwh float64) float64 { return energy.CO2Kg(kwh) }
+
+// CostEUR converts kWh to euros at the paper's assumed European price
+// (0.20 €/kWh).
+func CostEUR(kwh float64) float64 { return energy.CostEUR(kwh) }
+
+// TuneOptions configure a development-stage tuning pass.
+type TuneOptions = metaopt.Options
+
+// Tune runs the paper's development-stage optimization (§2.5): k-means
+// representative-dataset selection over the 124 binary meta-train
+// datasets, Bayesian optimization over CAML's system parameters, median
+// pruning. The returned system is CAML(tuned); the report carries the
+// development energy that must amortize (paper Fig. 7).
+func Tune(opts TuneOptions) (System, *metaopt.Result, error) {
+	res, err := metaopt.Optimize(openml.MetaTrainSuite(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return automl.NewTunedCAML(res.Params), res, nil
+}

@@ -1,0 +1,211 @@
+package greenautoml
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDatasetNamesComplete(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 39 {
+		t.Fatalf("%d dataset names, want 39 (paper Table 2)", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate dataset name %s", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"adult", "covertype", "credit-g", "Fashion-MNIST"} {
+		if !seen[want] {
+			t.Errorf("dataset %s missing", want)
+		}
+	}
+}
+
+func TestDatasetAndSplit(t *testing.T) {
+	ds := Dataset("credit-g", 1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	train, test := Split(ds, 2)
+	if train.Rows()+test.Rows() != ds.Rows() {
+		t.Error("split lost rows")
+	}
+	frac := float64(train.Rows()) / float64(ds.Rows())
+	if frac < 0.6 || frac > 0.72 {
+		t.Errorf("train fraction %.2f, want ~0.66", frac)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset name did not panic")
+		}
+	}()
+	Dataset("definitely-not-a-dataset", 1)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := Dataset("blood-transfusion-service-center", 3)
+	train, test := Split(ds, 5)
+	meter := NewMeter(CPUTestbed(), 1)
+	res, err := CAML().Fit(train, Options{Budget: 10 * time.Second, Meter: meter, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := res.Predict(test.X, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := BalancedAccuracy(test.Y, pred, test.Classes); acc < 0.5 {
+		t.Errorf("balanced accuracy %.3f", acc)
+	}
+	report := meter.Tracker().Snapshot()
+	if report.ExecutionKWh <= 0 || report.InferenceKWh <= 0 {
+		t.Errorf("energy report incomplete: %+v", report)
+	}
+	if CO2Kg(1) != 0.222 {
+		t.Error("CO2 conversion constant drifted from the paper")
+	}
+	if CostEUR(1) != 0.20 {
+		t.Error("EUR conversion constant drifted from the paper")
+	}
+}
+
+func TestSystemLineup(t *testing.T) {
+	builders := map[string]func() System{
+		"AutoGluon":             AutoGluon,
+		"AutoGluon(fast-infer)": AutoGluonFastInference,
+		"AutoSklearn1":          AutoSklearn1,
+		"AutoSklearn2":          AutoSklearn2,
+		"FLAML":                 FLAML,
+		"TabPFN":                TabPFN,
+		"TPOT":                  TPOT,
+		"CAML":                  CAML,
+	}
+	for want, build := range builders {
+		if got := build().Name(); got != want {
+			t.Errorf("builder produced %q, want %q", got, want)
+		}
+	}
+	if got := TunedCAML(time.Minute).Name(); got != "CAML(tuned)" {
+		t.Errorf("tuned name %q", got)
+	}
+	if got := ConstrainedCAML(time.Millisecond).Name(); got != "CAML(c=1ms)" {
+		t.Errorf("constrained name %q", got)
+	}
+}
+
+func TestTestbeds(t *testing.T) {
+	if err := CPUTestbed().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := GPUTestbed().Validate(); err != nil {
+		t.Error(err)
+	}
+	if !GPUTestbed().GPU.Present {
+		t.Error("GPU testbed has no GPU")
+	}
+}
+
+// TestRecommend covers every branch of the Figure 8 flowchart.
+func TestRecommend(t *testing.T) {
+	cases := []struct {
+		name string
+		task Task
+		want string
+	}{
+		{
+			name: "development tuning pays off",
+			task: Task{WeeklyClusterAccess: true, PlannedExecutions: 2000, SearchBudget: 5 * time.Minute},
+			want: "CAML(tuned)",
+		},
+		{
+			name: "cluster without enough executions",
+			task: Task{WeeklyClusterAccess: true, PlannedExecutions: 10, SearchBudget: time.Minute, Priority: PriorityAccuracy},
+			want: "AutoGluon",
+		},
+		{
+			name: "tiny budget, few classes, GPU",
+			task: Task{SearchBudget: 5 * time.Second, Classes: 4, GPUAvailable: true},
+			want: "TabPFN",
+		},
+		{
+			name: "tiny budget, many classes",
+			task: Task{SearchBudget: 5 * time.Second, Classes: 40, GPUAvailable: true},
+			want: "CAML",
+		},
+		{
+			name: "tiny budget, no GPU",
+			task: Task{SearchBudget: 5 * time.Second, Classes: 4},
+			want: "CAML",
+		},
+		{
+			name: "fast inference priority",
+			task: Task{SearchBudget: time.Minute, Priority: PriorityFastInference},
+			want: "FLAML",
+		},
+		{
+			name: "accuracy priority",
+			task: Task{SearchBudget: time.Minute, Priority: PriorityAccuracy},
+			want: "AutoGluon",
+		},
+		{
+			name: "pareto priority",
+			task: Task{SearchBudget: time.Minute, Priority: PriorityPareto},
+			want: "CAML",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := Recommend(tc.task)
+			if rec.SystemName != tc.want {
+				t.Errorf("recommended %s, want %s", rec.SystemName, tc.want)
+			}
+			if rec.Rationale == "" {
+				t.Error("empty rationale")
+			}
+			if rec.Build == nil {
+				t.Fatal("nil builder")
+			}
+			built := rec.Build()
+			if built == nil {
+				t.Fatal("builder returned nil")
+			}
+		})
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	for p, want := range map[Priority]string{
+		PriorityPareto:        "pareto",
+		PriorityFastInference: "fast inference",
+		PriorityAccuracy:      "accuracy",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTuneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning loop is slow")
+	}
+	sys, dev, err := Tune(TuneOptions{
+		Budget:         5 * time.Second,
+		TopK:           3,
+		Iterations:     4,
+		RunsPerDataset: 1,
+		Seed:           13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != "CAML(tuned)" {
+		t.Errorf("tuned system %q", sys.Name())
+	}
+	if dev.DevKWh <= 0 {
+		t.Error("no development energy tracked")
+	}
+}

@@ -1,0 +1,180 @@
+package automl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+)
+
+func hwXeon() *hw.Machine { return hw.XeonGold6132() }
+
+// TestEarlyStoppingSavesEnergy: with a patience set, CAML must stop at the
+// validation plateau and consume less execution energy than the
+// full-budget run (paper §3.8's proposed optimization).
+func TestEarlyStoppingSavesEnergy(t *testing.T) {
+	train, test := loadTrainTest(t, "blood-transfusion-service-center", 31)
+
+	full, fullMeter := fitOn(t, NewCAML(), train, time.Minute, 32)
+	if _, err := full.Predict(test.X, fullMeter); err != nil {
+		t.Fatal(err)
+	}
+
+	params := DefaultCAMLParams()
+	params.EarlyStopPatience = 8
+	early, earlyMeter := fitOn(t, &CAML{Params: params, Label: "CAML(early)"}, train, time.Minute, 32)
+	if _, err := early.Predict(test.X, earlyMeter); err != nil {
+		t.Fatal(err)
+	}
+
+	if early.ExecTime >= full.ExecTime {
+		t.Errorf("early stopping did not shorten execution: %s vs %s", early.ExecTime, full.ExecTime)
+	}
+	fullKWh := fullMeter.Tracker().KWh(energy.Execution)
+	earlyKWh := earlyMeter.Tracker().KWh(energy.Execution)
+	if earlyKWh >= fullKWh {
+		t.Errorf("early stopping did not save energy: %.6f vs %.6f kWh", earlyKWh, fullKWh)
+	}
+	// The plateau model must not be drastically worse: on this small,
+	// overfitting-prone dataset the paper expects no loss at all.
+	if early.ValScore < full.ValScore-0.1 {
+		t.Errorf("early-stopped validation score %.3f far below full %.3f", early.ValScore, full.ValScore)
+	}
+}
+
+// TestEnergyAwareObjectiveOrdering: the energy-aware objective must rank a
+// slightly-less-accurate cheap model above a slightly-more-accurate
+// expensive one (paper §1's energy-aware objective), while the plain
+// objective ranks by accuracy alone.
+func TestEnergyAwareObjectiveOrdering(t *testing.T) {
+	train, val := loadTrainTest(t, "phoneme", 33)
+	rng := newTestRNG(34)
+	meter := energy.NewMeter(hwXeon(), 1)
+
+	build := func(family string) *evaluation {
+		spec := pipeline.SpaceSpec{Models: []string{family}, DataPreprocessors: true}
+		space, err := spec.Space()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := spec.Build(space.Default(), train.Features())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Fit(train, rng); err != nil {
+			t.Fatal(err)
+		}
+		return &evaluation{pipe: p}
+	}
+	cheap := build("tree")
+	expensive := build("knn") // full-scan inference
+
+	// Give the expensive model a small accuracy edge.
+	cheap.score = 0.80
+	expensive.score = 0.82
+
+	plain := DefaultCAMLParams()
+	aware := DefaultCAMLParams()
+	aware.EnergyWeight = 0.5
+	c := NewCAML()
+	if c.objective(expensive, val, plain, meter) <= c.objective(cheap, val, plain, meter) {
+		t.Error("plain objective must rank by accuracy")
+	}
+	if c.objective(expensive, val, aware, meter) >= c.objective(cheap, val, aware, meter) {
+		t.Errorf("energy-aware objective kept the expensive model on top: knn %.4f vs tree %.4f",
+			c.objective(expensive, val, aware, meter), c.objective(cheap, val, aware, meter))
+	}
+	// Sanity: the probe-based energy estimate must separate the models.
+	if c.inferenceJoulesPerInstance(expensive, val, meter) <= c.inferenceJoulesPerInstance(cheap, val, meter) {
+		t.Error("kNN inference not estimated as more expensive than a tree")
+	}
+}
+
+// TestFLAMLStartsCheap: FLAML's first evaluations must use the cheapest
+// model families (paper §2.3: "they start by evaluating low-cost models
+// ... on small training sets").
+func TestFLAMLStartsCheap(t *testing.T) {
+	train, _ := loadTrainTest(t, "adult", 35)
+	// A very small budget only lets the curriculum's head run; the
+	// result must come from a cheap family, not a boosted ensemble.
+	res, _ := fitOn(t, NewFLAML(), train, 2*time.Second, 36)
+	if res.Evaluated == 0 {
+		t.Fatal("FLAML evaluated nothing in 2s")
+	}
+	// The returned model's inference must be frugal (a few thousand
+	// FLOPs per instance at most for NB/tree-class models).
+	proba, cost := res.Predictor.PredictProba(train.X[:16])
+	if proba == nil {
+		t.Fatal("no predictions")
+	}
+	perInst := cost.Total() / 16
+	if perInst > 2e5 {
+		t.Errorf("FLAML's 2s model costs %.0f FLOPs/instance — the cost prior should keep it frugal", perInst)
+	}
+}
+
+// TestASKLOverrunsWorseThanCAML encodes paper Table 7's ordering at equal
+// budgets: auto-sklearn's post-budget ensembling makes it the worst
+// overrunner; CAML is strict.
+func TestASKLOverrunsWorseThanCAML(t *testing.T) {
+	train, _ := loadTrainTest(t, "nomao", 37)
+	budget := 30 * time.Second
+	caml, _ := fitOn(t, NewCAML(), train, budget, 38)
+	askl, _ := fitOn(t, NewAutoSklearn1(), train, budget, 38)
+	if askl.ExecTime <= caml.ExecTime {
+		t.Errorf("ASKL1 (%s) did not overrun CAML (%s) at a %s budget", askl.ExecTime, caml.ExecTime, budget)
+	}
+	if askl.ExecTime < budget+budget/10 {
+		t.Errorf("ASKL1 execution %s suspiciously close to the budget — ensembling overhead missing", askl.ExecTime)
+	}
+}
+
+// TestCAMLCrossValidation: the CV option must work end-to-end and cost
+// more per evaluation than hold-out (k fits per candidate), mirroring why
+// TPOT's 5-fold CV hurts it at small budgets.
+func TestCAMLCrossValidation(t *testing.T) {
+	train, test := loadTrainTest(t, "credit-g", 41)
+	params := DefaultCAMLParams()
+	params.CVFolds = 3
+	params.Incremental = false
+	cv, cvMeter := fitOn(t, &CAML{Params: params, Label: "CAML(cv)"}, train, 20*time.Second, 42)
+	pred, err := cv.Predict(test.X, cvMeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.BalancedAccuracy(test.Y, pred, test.Classes); acc < 0.5 {
+		t.Errorf("CV-evaluated CAML accuracy %.3f", acc)
+	}
+	holdParams := DefaultCAMLParams()
+	holdParams.Incremental = false
+	hold, _ := fitOn(t, &CAML{Params: holdParams, Label: "CAML(hold)"}, train, 20*time.Second, 42)
+	if cv.Evaluated >= hold.Evaluated {
+		t.Errorf("3-fold CV evaluated %d candidates vs hold-out %d — CV must cost more per candidate",
+			cv.Evaluated, hold.Evaluated)
+	}
+}
+
+// TestLowComplexityConfig: FLAML's starting configurations must sit at the
+// bottom of each numeric range and grow with the complexity rung.
+func TestLowComplexityConfig(t *testing.T) {
+	spec := pipeline.SpaceSpec{Models: []string{"random_forest"}}
+	space, err := spec.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := lowComplexityConfig(space, 0)
+	high := lowComplexityConfig(space, 1)
+	trees, _ := space.Lookup("random_forest.trees")
+	if low["random_forest.trees"] != trees.Min {
+		t.Errorf("complexity 0 trees %v, want the minimum %v", low["random_forest.trees"], trees.Min)
+	}
+	if high["random_forest.trees"] <= low["random_forest.trees"] {
+		t.Error("complexity 1 did not raise the tree count")
+	}
+	if high["random_forest.trees"] > trees.Max {
+		t.Errorf("complexity 1 trees %v above max %v", high["random_forest.trees"], trees.Max)
+	}
+}

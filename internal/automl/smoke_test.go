@@ -1,0 +1,71 @@
+package automl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/openml"
+)
+
+// TestSystemsSmoke runs every system once on a small dataset and checks
+// the core contract: a predictor comes back, test accuracy beats random
+// guessing, execution consumed energy, and inference charges the meter.
+func TestSystemsSmoke(t *testing.T) {
+	spec, ok := openml.ByName("phoneme")
+	if !ok {
+		t.Fatal("phoneme spec missing")
+	}
+	ds := openml.Generate(spec, openml.SmallScale(), 1)
+	rng := newTestRNG(7)
+	train, test := ds.TrainTestSplit(rng)
+
+	systems := []System{
+		NewCAML(),
+		NewTunedCAML(DefaultTunedParams(10 * time.Second)),
+		NewAutoGluon(),
+		NewAutoGluonFastInference(),
+		NewAutoSklearn1(),
+		NewAutoSklearn2(),
+		NewFLAML(),
+		NewTabPFN(),
+		NewTPOT(),
+	}
+	for _, sys := range systems {
+		sys := sys
+		t.Run(sys.Name(), func(t *testing.T) {
+			meter := energy.NewMeter(hw.XeonGold6132(), 1)
+			budget := 30 * time.Second
+			if sys.MinBudget() > budget {
+				budget = sys.MinBudget()
+			}
+			res, err := sys.Fit(train, Options{Budget: budget, Meter: meter, Seed: 42})
+			if err != nil {
+				t.Fatalf("Fit: %v", err)
+			}
+			if res.Predictor == nil {
+				t.Fatal("nil predictor")
+			}
+			if res.ExecKWh <= 0 {
+				t.Errorf("execution consumed no energy")
+			}
+			if res.ExecTime <= 0 {
+				t.Errorf("execution consumed no virtual time")
+			}
+			pred, err := res.Predict(test.X, meter)
+			if err != nil {
+				t.Fatalf("Predict: %v", err)
+			}
+			acc := metrics.BalancedAccuracy(test.Y, pred, test.Classes)
+			t.Logf("%s: bacc=%.3f exec=%s kwh=%.6f evaluated=%d", sys.Name(), acc, res.ExecTime, res.ExecKWh, res.Evaluated)
+			if acc < 0.5 {
+				t.Errorf("balanced accuracy %.3f not better than random on an easy binary task", acc)
+			}
+			if meter.Tracker().KWh(energy.Inference) <= 0 {
+				t.Errorf("inference consumed no energy")
+			}
+		})
+	}
+}

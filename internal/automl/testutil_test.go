@@ -1,0 +1,8 @@
+package automl
+
+import "math/rand/v2"
+
+// newTestRNG returns a deterministic RNG for tests.
+func newTestRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x7e57))
+}

@@ -1,0 +1,79 @@
+package automl
+
+import (
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// NewTunedCAML returns CAML(tuned): CAML configured with the AutoML system
+// parameters produced by the development-stage optimizer for the given
+// search budget (paper §3.7, Table 5). The parameters passed in normally
+// come from internal/metaopt; DefaultTunedParams supplies factory presets
+// matching the paper's published Table 5 findings when no tuning run is
+// available.
+func NewTunedCAML(params CAMLParams) *CAML {
+	return &CAML{Params: params, Label: "CAML(tuned)"}
+}
+
+// DefaultTunedParams reproduces the qualitative structure of the paper's
+// Table 5 tuned parameters for a given search budget:
+//
+//   - the ML hyperparameter space *grows with the search time* — a 30s
+//     budget keeps a few cheap classifiers, five minutes unlock more
+//     complex families (MLP, random forest);
+//   - decision trees appear at every budget ("decision trees can be both
+//     simple and complex");
+//   - upfront sampling is always selected ("our tuning process always ends
+//     up sampling upfront" — a knob no state-of-the-art system has);
+//   - incremental (successive-halving) training is always selected;
+//   - random validation-set splitting per BO iteration is preferred;
+//   - the evaluation fraction grows with the budget (17% at 5 minutes);
+//   - refit is chosen at 1 minute but not at 5 minutes (the reason the
+//     5-minute models need *less* inference energy than the 1-minute
+//     ones).
+func DefaultTunedParams(budget time.Duration) CAMLParams {
+	p := DefaultCAMLParams()
+	p.SampleRows = 700
+	p.Incremental = true
+	p.RandomValSplit = true
+	switch {
+	case budget <= 15*time.Second:
+		p.Spec = pipeline.SpaceSpec{
+			Models:            []string{"tree", "gaussian_nb", "logreg"},
+			DataPreprocessors: true,
+		}
+		p.EvalFraction = 0.25
+		p.SampleRows = 400
+		p.Refit = false
+		p.InitRandom = 5
+	case budget <= 45*time.Second:
+		p.Spec = pipeline.SpaceSpec{
+			Models:            []string{"tree", "gaussian_nb", "logreg", "knn", "extra_trees"},
+			DataPreprocessors: true,
+		}
+		p.EvalFraction = 0.12
+		p.SampleRows = 600
+		p.Refit = false
+		p.InitRandom = 6
+	case budget <= 2*time.Minute:
+		p.Spec = pipeline.SpaceSpec{
+			Models:            []string{"tree", "logreg", "knn", "extra_trees", "random_forest"},
+			DataPreprocessors: true,
+		}
+		p.EvalFraction = 0.12
+		p.SampleRows = 800
+		p.Refit = true
+		p.InitRandom = 8
+	default:
+		p.Spec = pipeline.SpaceSpec{
+			Models:            []string{"tree", "random_forest", "extra_trees", "mlp", "gradient_boosting"},
+			DataPreprocessors: true,
+		}
+		p.EvalFraction = 0.17
+		p.SampleRows = 1000
+		p.Refit = false
+		p.InitRandom = 10
+	}
+	return p
+}

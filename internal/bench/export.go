@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports grid records as CSV — the equivalent of the paper's
+// published raw-results files ("we provide both the raw results of all 10
+// runs for all search times, datasets, and systems ... in our
+// repository").
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"system", "dataset", "budget_s", "seed",
+		"test_balanced_accuracy", "exec_kwh", "exec_time_s",
+		"infer_kwh_per_instance", "infer_time_s_per_instance",
+		"pipelines_evaluated", "failed",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("bench: writing csv header: %w", err)
+	}
+	for _, r := range records {
+		row := []string{
+			r.System,
+			r.Dataset,
+			strconv.FormatFloat(r.Budget.Seconds(), 'f', -1, 64),
+			strconv.FormatUint(r.Seed, 10),
+			strconv.FormatFloat(r.TestScore, 'g', -1, 64),
+			strconv.FormatFloat(r.ExecKWh, 'g', -1, 64),
+			strconv.FormatFloat(r.ExecTime.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(r.InferKWhPerInst, 'g', -1, 64),
+			strconv.FormatFloat(r.InferTimePerInst.Seconds(), 'g', -1, 64),
+			strconv.Itoa(r.Evaluated),
+			strconv.FormatBool(r.Failed),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("bench: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON exports grid records as a JSON array.
+func WriteJSON(w io.Writer, records []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		return fmt.Errorf("bench: writing json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads previously exported records, enabling offline
+// re-aggregation and re-rendering without re-running the grid.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var records []Record
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return nil, fmt.Errorf("bench: reading json: %w", err)
+	}
+	return records, nil
+}

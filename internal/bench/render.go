@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/automl"
+)
+
+func newTable(sb *strings.Builder) *tabwriter.Writer {
+	return tabwriter.NewWriter(sb, 2, 4, 2, ' ', 0)
+}
+
+// Render formats the fig3 aggregation as two paper-style tables: execution
+// energy vs accuracy, and inference energy vs accuracy.
+func (r Fig3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3 — search time, balanced accuracy, energy (execution | inference)\n")
+	w := newTable(&sb)
+	fmt.Fprintln(w, "system\tbudget\tbal.acc\t±\texec kWh\tinfer kWh/inst\tactual time")
+	for _, s := range r.Stats {
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.6g\t%.4g\t%s\n",
+			s.Key.System, FormatBudget(s.Key.Budget),
+			s.Score.Mean, s.Score.Std,
+			s.ExecKWh, s.InferKWhPerInst, s.ExecTime.Round(10*time.Millisecond))
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Render formats the fig4 curves and the TabPFN crossover.
+func (r Fig4Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — total energy (kWh) vs number of predictions\n")
+	w := newTable(&sb)
+	header := "system\texec kWh\tkWh/inst"
+	for _, p := range r.Points {
+		header += fmt.Sprintf("\tn=%.0g", p)
+	}
+	fmt.Fprintln(w, header)
+	for _, s := range r.Series {
+		row := fmt.Sprintf("%s\t%.6g\t%.4g", s.System, s.ExecKWh, s.InferKWhPerInst)
+		for _, v := range s.TotalKWh {
+			row += fmt.Sprintf("\t%.5g", v)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	if r.TabPFNCrossover > 0 {
+		fmt.Fprintf(&sb, "TabPFN is the most energy-efficient below ~%.0f predictions\n", r.TabPFNCrossover)
+	}
+	return sb.String()
+}
+
+// Render formats the parallelism sweep.
+func (r Fig5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5 — balanced accuracy and execution energy across CPU cores\n")
+	w := newTable(&sb)
+	fmt.Fprintln(w, "system\tcores\tbudget\tbal.acc\texec kWh")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%.4f\t%.6g\n", c.System, c.Cores, FormatBudget(c.Budget), c.Score, c.ExecKWh)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Render formats the inference-configuration sweep.
+func (r Fig6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — inference-configured variants: accuracy vs inference energy\n")
+	w := newTable(&sb)
+	fmt.Fprintln(w, "variant\tbudget\tbal.acc\tinfer kWh/inst")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4g\n", c.Variant, FormatBudget(c.Budget), c.Score, c.InferKWhPerInst)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Render formats the development-stage comparison.
+func (r Fig7Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 7 — development stage (budget %s)\n", FormatBudget(r.Budget))
+	if r.Dev != nil {
+		fmt.Fprintf(&sb, "development: %.4f kWh over %s (%d trials, %d pruned)\n",
+			r.Dev.DevKWh, r.Dev.DevTime.Round(time.Second), r.Dev.Trials, r.Dev.Pruned)
+		fmt.Fprintf(&sb, "tuned parameters: %s\n", RenderCAMLParams(r.Dev.Params))
+	}
+	w := newTable(&sb)
+	fmt.Fprintln(w, "system\tbudget\tbal.acc\texec kWh\tinfer kWh/inst")
+	rows := append(append([]CellStats(nil), r.TunedStats...), r.BaselineStats...)
+	for _, s := range rows {
+		if s.Key.Budget != r.Budget {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.6g\t%.4g\n",
+			s.Key.System, FormatBudget(s.Key.Budget), s.Score.Mean, s.ExecKWh, s.InferKWhPerInst)
+	}
+	w.Flush()
+	if r.AmortizationRuns > 0 {
+		fmt.Fprintf(&sb, "development energy amortizes after ~%d executions\n", r.AmortizationRuns)
+	}
+	return sb.String()
+}
+
+// RenderCAMLParams renders tuned CAML parameters the way paper Table 5
+// lists them.
+func RenderCAMLParams(p automl.CAMLParams) string {
+	models := append([]string(nil), p.Spec.Models...)
+	sort.Strings(models)
+	return fmt.Sprintf("models=%v holdout=%.2f eval_fraction=%.2f sampling=%d refit=%v random_val_split=%v incremental=%v",
+		models, p.HoldoutFrac, p.EvalFraction, p.SampleRows, p.Refit, p.RandomValSplit, p.Incremental)
+}
+
+// Render formats the GPU quotient table.
+func (r Table3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3 — GPU result / CPU-only result (values < 1 favour GPU)\n")
+	w := newTable(&sb)
+	fmt.Fprintln(w, "system\texec energy\texec time\tinfer energy\tinfer time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			row.System, row.ExecEnergy, row.ExecTime, row.InferEnergy, row.InferTime)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Render formats the trillion-prediction projection.
+func (r Table4Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 4 — cost of 1 trillion predictions\n")
+	w := newTable(&sb)
+	fmt.Fprintln(w, "system\tenergy (kWh)\tCO2 (kg)\tcost (EUR)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\n", row.System, row.EnergyKWh, row.CO2Kg, row.CostEUR)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Render formats the overfitting counts.
+func (r Table6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 6 — datasets where 5min scored worse than 1min\n")
+	w := newTable(&sb)
+	fmt.Fprintln(w, "system\toverfits\tof datasets")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\n", row.System, row.Overfits, row.Datasets)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Render formats the budget-fidelity table.
+func (r Table7Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 7 — actual execution time (s) for specified search times\n")
+	w := newTable(&sb)
+	header := "system"
+	for _, b := range r.Budgets {
+		header += "\t" + FormatBudget(b)
+	}
+	fmt.Fprintln(w, header)
+	for _, row := range r.Rows {
+		line := row.System
+		for i := range r.Budgets {
+			if row.Mean[i] < 0 {
+				line += "\t-"
+			} else {
+				line += fmt.Sprintf("\t%.2f ± %.2f", row.Mean[i], row.Std[i])
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Render formats a development-stage sweep (Tables 8 and 9).
+func (r SweepResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Development sweep — %s\n", r.Label)
+	w := newTable(&sb)
+	fmt.Fprintln(w, r.Label+"\tbal.acc\t±\tenergy (kWh)\ttime (h)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d\t%.4f\t%.4f\t%.4g\t%.2f\n", row.Value, row.Score.Mean, row.Score.Std, row.DevKWh, row.DevTimeH)
+	}
+	w.Flush()
+	return sb.String()
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SignificanceResult reports, per budget, the systems' mean ranks across
+// datasets and a Wilcoxon signed-rank comparison of every system against
+// the top-ranked one — the statistical backing for "system X wins"
+// claims over the 39-dataset suite.
+type SignificanceResult struct {
+	Budgets []time.Duration
+	// Ranks[budget][system] is the mean rank (1 = best).
+	Ranks map[time.Duration]map[string]float64
+	// PValues[budget][system] is the two-sided Wilcoxon p-value of the
+	// system against the top-ranked system at that budget.
+	PValues map[time.Duration]map[string]float64
+	// Top[budget] names the top-ranked system.
+	Top map[time.Duration]string
+}
+
+// Significance computes rank and significance statistics from grid
+// records. Only datasets covered by every system at a budget enter that
+// budget's analysis (paired tests need complete pairs).
+func Significance(records []Record) SignificanceResult {
+	type cell struct {
+		budget  time.Duration
+		system  string
+		dataset string
+	}
+	scores := map[cell][]float64{}
+	systemsAt := map[time.Duration]map[string]bool{}
+	datasetsAt := map[time.Duration]map[string]bool{}
+	for _, r := range records {
+		if r.Failed {
+			continue
+		}
+		scores[cell{r.Budget, r.System, r.Dataset}] = append(scores[cell{r.Budget, r.System, r.Dataset}], r.TestScore)
+		if systemsAt[r.Budget] == nil {
+			systemsAt[r.Budget] = map[string]bool{}
+			datasetsAt[r.Budget] = map[string]bool{}
+		}
+		systemsAt[r.Budget][r.System] = true
+		datasetsAt[r.Budget][r.Dataset] = true
+	}
+
+	res := SignificanceResult{
+		Ranks:   map[time.Duration]map[string]float64{},
+		PValues: map[time.Duration]map[string]float64{},
+		Top:     map[time.Duration]string{},
+	}
+	for b := range systemsAt {
+		res.Budgets = append(res.Budgets, b)
+	}
+	sort.Slice(res.Budgets, func(i, j int) bool { return res.Budgets[i] < res.Budgets[j] })
+
+	for _, budget := range res.Budgets {
+		var systems []string
+		for s := range systemsAt[budget] {
+			systems = append(systems, s)
+		}
+		sort.Strings(systems)
+		if len(systems) < 2 {
+			continue
+		}
+
+		// Complete per-dataset score rows.
+		var rows []map[string]float64
+		var perSystem = map[string][]float64{}
+		var datasets []string
+		for d := range datasetsAt[budget] {
+			datasets = append(datasets, d)
+		}
+		sort.Strings(datasets)
+		for _, d := range datasets {
+			row := map[string]float64{}
+			complete := true
+			for _, s := range systems {
+				runs := scores[cell{budget, s, d}]
+				if len(runs) == 0 {
+					complete = false
+					break
+				}
+				row[s] = metrics.MeanStd(runs).Mean
+			}
+			if !complete {
+				continue
+			}
+			rows = append(rows, row)
+			for s, v := range row {
+				perSystem[s] = append(perSystem[s], v)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		ranks, err := metrics.MeanRanks(rows)
+		if err != nil {
+			continue
+		}
+		res.Ranks[budget] = ranks
+
+		top := systems[0]
+		for _, s := range systems[1:] {
+			if ranks[s] < ranks[top] {
+				top = s
+			}
+		}
+		res.Top[budget] = top
+
+		ps := map[string]float64{}
+		for _, s := range systems {
+			if s == top {
+				continue
+			}
+			w, err := metrics.WilcoxonSignedRank(perSystem[top], perSystem[s])
+			if err != nil {
+				continue
+			}
+			ps[s] = w.PValue
+		}
+		res.PValues[budget] = ps
+	}
+	return res
+}
+
+// Render formats the significance analysis.
+func (r SignificanceResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Rank & significance analysis — mean rank (1=best); p = Wilcoxon vs the top system\n")
+	for _, budget := range r.Budgets {
+		ranks := r.Ranks[budget]
+		if len(ranks) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s (top: %s):\n", FormatBudget(budget), r.Top[budget])
+		systems := make([]string, 0, len(ranks))
+		for s := range ranks {
+			systems = append(systems, s)
+		}
+		sort.Slice(systems, func(i, j int) bool { return ranks[systems[i]] < ranks[systems[j]] })
+		for _, s := range systems {
+			if s == r.Top[budget] {
+				fmt.Fprintf(&sb, "  %-24s rank %.2f\n", s, ranks[s])
+			} else {
+				fmt.Fprintf(&sb, "  %-24s rank %.2f  p=%.3f\n", s, ranks[s], r.PValues[budget][s])
+			}
+		}
+	}
+	return sb.String()
+}

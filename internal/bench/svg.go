@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SVG rendering of the paper's figures. The harness's primary output is
+// textual, but Figures 3-5 are scatter/line charts in the paper; these
+// renderers emit self-contained SVG so the reproduction's results can be
+// looked at the same way. No dependencies: hand-rolled axes with
+// log-scale support.
+
+// svgPalette assigns stable colors per system (color-blind-safe-ish).
+var svgPalette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+	"#bbbbbb", "#222255", "#225555",
+}
+
+type svgCanvas struct {
+	sb            strings.Builder
+	width, height float64
+	marginL       float64
+	marginB       float64
+	marginT       float64
+	marginR       float64
+}
+
+func newSVGCanvas(width, height float64) *svgCanvas {
+	c := &svgCanvas{width: width, height: height, marginL: 70, marginB: 45, marginT: 30, marginR: 160}
+	fmt.Fprintf(&c.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&c.sb, `<rect width="%g" height="%g" fill="white"/>`+"\n", width, height)
+	return c
+}
+
+func (c *svgCanvas) plotW() float64 { return c.width - c.marginL - c.marginR }
+func (c *svgCanvas) plotH() float64 { return c.height - c.marginT - c.marginB }
+
+// axis maps a data range onto the canvas; log10 axes require positive
+// bounds.
+type axis struct {
+	min, max float64
+	log      bool
+	span     float64 // pixel span
+	offset   float64 // pixel origin
+	vertical bool
+}
+
+func (a *axis) scale(v float64) float64 {
+	lo, hi, x := a.min, a.max, v
+	if a.log {
+		lo, hi, x = math.Log10(a.min), math.Log10(a.max), math.Log10(math.Max(v, 1e-300))
+	}
+	frac := 0.5
+	if hi > lo {
+		frac = (x - lo) / (hi - lo)
+	}
+	if a.vertical {
+		return a.offset - frac*a.span
+	}
+	return a.offset + frac*a.span
+}
+
+// ticks returns tick positions: decades on log axes, 5 linear steps
+// otherwise.
+func (a *axis) ticks() []float64 {
+	if a.log {
+		var out []float64
+		for e := math.Floor(math.Log10(a.min)); e <= math.Ceil(math.Log10(a.max)); e++ {
+			v := math.Pow(10, e)
+			if v >= a.min/1.001 && v <= a.max*1.001 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	var out []float64
+	for i := 0; i <= 5; i++ {
+		out = append(out, a.min+(a.max-a.min)*float64(i)/5)
+	}
+	return out
+}
+
+func formatTick(v float64, log bool) string {
+	if log {
+		return fmt.Sprintf("1e%d", int(math.Round(math.Log10(v))))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func (c *svgCanvas) drawAxes(x, y *axis, xLabel, yLabel, title string) {
+	left, bottom := c.marginL, c.height-c.marginB
+	fmt.Fprintf(&c.sb, `<text x="%g" y="18" font-size="13" font-weight="bold">%s</text>`+"\n", c.marginL, title)
+	fmt.Fprintf(&c.sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", left, bottom, left+c.plotW(), bottom)
+	fmt.Fprintf(&c.sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", left, bottom, left, bottom-c.plotH())
+	for _, tv := range x.ticks() {
+		px := x.scale(tv)
+		fmt.Fprintf(&c.sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", px, bottom, px, bottom+4)
+		fmt.Fprintf(&c.sb, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", px, bottom+16, formatTick(tv, x.log))
+	}
+	for _, tv := range y.ticks() {
+		py := y.scale(tv)
+		fmt.Fprintf(&c.sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", left-4, py, left, py)
+		fmt.Fprintf(&c.sb, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n", left-7, py+4, formatTick(tv, y.log))
+	}
+	fmt.Fprintf(&c.sb, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", left+c.plotW()/2, c.height-8, xLabel)
+	fmt.Fprintf(&c.sb, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		c.marginT+c.plotH()/2, c.marginT+c.plotH()/2, yLabel)
+}
+
+func (c *svgCanvas) legend(names []string) {
+	x := c.width - c.marginR + 12
+	for i, name := range names {
+		y := c.marginT + 14 + float64(i)*16
+		fmt.Fprintf(&c.sb, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`+"\n", x, y-9, svgPalette[i%len(svgPalette)])
+		fmt.Fprintf(&c.sb, `<text x="%g" y="%g">%s</text>`+"\n", x+14, y, name)
+	}
+}
+
+func (c *svgCanvas) close() string {
+	c.sb.WriteString("</svg>\n")
+	return c.sb.String()
+}
+
+// seriesBounds computes padded bounds over positive values for a log axis.
+func logBounds(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v <= 0 {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return 1e-9, 1
+	}
+	return lo / 1.5, hi * 1.5
+}
+
+// WriteFig3SVG renders the paper's Figure 3 layout: balanced accuracy (y)
+// against energy (x, log scale), one polyline per system across budgets.
+// stage selects execution energy (false) or per-instance inference energy
+// (true).
+func WriteFig3SVG(w io.Writer, stats []CellStats, inference bool) error {
+	systems := Systems(stats)
+	var xs, ys []float64
+	for _, s := range stats {
+		xs = append(xs, fig3X(s, inference))
+		ys = append(ys, s.Score.Mean)
+	}
+	xlo, xhi := logBounds(xs)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, v := range ys {
+		ylo = math.Min(ylo, v)
+		yhi = math.Max(yhi, v)
+	}
+	pad := math.Max(0.01, (yhi-ylo)*0.1)
+	ylo, yhi = ylo-pad, yhi+pad
+
+	c := newSVGCanvas(760, 430)
+	x := &axis{min: xlo, max: xhi, log: true, span: c.plotW(), offset: c.marginL}
+	y := &axis{min: ylo, max: yhi, span: c.plotH(), offset: c.height - c.marginB, vertical: true}
+	title := "Figure 3: accuracy vs execution energy (kWh)"
+	xLabel := "execution energy (kWh, log)"
+	if inference {
+		title = "Figure 3: accuracy vs inference energy (kWh/instance)"
+		xLabel = "inference energy (kWh/instance, log)"
+	}
+	c.drawAxes(x, y, xLabel, "balanced accuracy", title)
+
+	for i, system := range systems {
+		color := svgPalette[i%len(svgPalette)]
+		var cells []CellStats
+		for _, s := range stats {
+			if s.Key.System == system {
+				cells = append(cells, s)
+			}
+		}
+		sort.Slice(cells, func(a, b int) bool { return cells[a].Key.Budget < cells[b].Key.Budget })
+		var points []string
+		for _, s := range cells {
+			px, py := x.scale(fig3X(s, inference)), y.scale(s.Score.Mean)
+			points = append(points, fmt.Sprintf("%.1f,%.1f", px, py))
+			fmt.Fprintf(&c.sb, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", px, py, color)
+			fmt.Fprintf(&c.sb, `<text x="%.1f" y="%.1f" font-size="9" fill="%s">%s</text>`+"\n",
+				px+5, py-4, color, FormatBudget(s.Key.Budget))
+		}
+		if len(points) > 1 {
+			fmt.Fprintf(&c.sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.4"/>`+"\n",
+				strings.Join(points, " "), color)
+		}
+	}
+	c.legend(systems)
+	_, err := io.WriteString(w, c.close())
+	return err
+}
+
+func fig3X(s CellStats, inference bool) float64 {
+	if inference {
+		return s.InferKWhPerInst
+	}
+	return s.ExecKWh
+}
+
+// WriteFig4SVG renders Figure 4: total energy (y, log) against prediction
+// count (x, log), one line per system.
+func WriteFig4SVG(w io.Writer, res Fig4Result) error {
+	if len(res.Points) == 0 || len(res.Series) == 0 {
+		return fmt.Errorf("bench: empty fig4 result")
+	}
+	var all []float64
+	for _, s := range res.Series {
+		all = append(all, s.TotalKWh...)
+	}
+	ylo, yhi := logBounds(all)
+	c := newSVGCanvas(760, 430)
+	x := &axis{min: res.Points[0], max: res.Points[len(res.Points)-1], log: true, span: c.plotW(), offset: c.marginL}
+	y := &axis{min: ylo, max: yhi, log: true, span: c.plotH(), offset: c.height - c.marginB, vertical: true}
+	c.drawAxes(x, y, "number of predictions (log)", "total energy (kWh, log)", "Figure 4: energy vs prediction volume")
+
+	var names []string
+	for i, s := range res.Series {
+		names = append(names, s.System)
+		color := svgPalette[i%len(svgPalette)]
+		var points []string
+		for j, n := range res.Points {
+			points = append(points, fmt.Sprintf("%.1f,%.1f", x.scale(n), y.scale(s.TotalKWh[j])))
+		}
+		fmt.Fprintf(&c.sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			strings.Join(points, " "), color)
+	}
+	if res.TabPFNCrossover > 0 && res.TabPFNCrossover >= x.min && res.TabPFNCrossover <= x.max {
+		px := x.scale(res.TabPFNCrossover)
+		fmt.Fprintf(&c.sb, `<line x1="%.1f" y1="%g" x2="%.1f" y2="%g" stroke="gray" stroke-dasharray="4 3"/>`+"\n",
+			px, c.height-c.marginB, px, c.marginT)
+		fmt.Fprintf(&c.sb, `<text x="%.1f" y="%g" font-size="10" fill="gray">crossover %.0f</text>`+"\n",
+			px+4, c.marginT+12, res.TabPFNCrossover)
+	}
+	c.legend(names)
+	_, err := io.WriteString(w, c.close())
+	return err
+}
+
+// WriteFig5SVG renders Figure 5: execution energy (x, log) against
+// accuracy (y), one polyline per (system, cores) combination.
+func WriteFig5SVG(w io.Writer, res Fig5Result) error {
+	if len(res.Cells) == 0 {
+		return fmt.Errorf("bench: empty fig5 result")
+	}
+	type key struct {
+		system string
+		cores  int
+	}
+	groups := map[key][]Fig5Cell{}
+	var xs, ys []float64
+	for _, cell := range res.Cells {
+		k := key{cell.System, cell.Cores}
+		groups[k] = append(groups[k], cell)
+		xs = append(xs, cell.ExecKWh)
+		ys = append(ys, cell.Score)
+	}
+	xlo, xhi := logBounds(xs)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, v := range ys {
+		ylo, yhi = math.Min(ylo, v), math.Max(yhi, v)
+	}
+	pad := math.Max(0.01, (yhi-ylo)*0.1)
+	c := newSVGCanvas(760, 430)
+	x := &axis{min: xlo, max: xhi, log: true, span: c.plotW(), offset: c.marginL}
+	y := &axis{min: ylo - pad, max: yhi + pad, span: c.plotH(), offset: c.height - c.marginB, vertical: true}
+	c.drawAxes(x, y, "execution energy (kWh, log)", "balanced accuracy", "Figure 5: parallelism")
+
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].system != keys[j].system {
+			return keys[i].system < keys[j].system
+		}
+		return keys[i].cores < keys[j].cores
+	})
+	var names []string
+	for i, k := range keys {
+		names = append(names, fmt.Sprintf("%s/%d cores", k.system, k.cores))
+		color := svgPalette[i%len(svgPalette)]
+		cells := groups[k]
+		sort.Slice(cells, func(a, b int) bool { return cells[a].Budget < cells[b].Budget })
+		var points []string
+		for _, cell := range cells {
+			px, py := x.scale(cell.ExecKWh), y.scale(cell.Score)
+			points = append(points, fmt.Sprintf("%.1f,%.1f", px, py))
+			fmt.Fprintf(&c.sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px, py, color)
+		}
+		if len(points) > 1 {
+			fmt.Fprintf(&c.sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.3"/>`+"\n",
+				strings.Join(points, " "), color)
+		}
+	}
+	c.legend(names)
+	_, err := io.WriteString(w, c.close())
+	return err
+}

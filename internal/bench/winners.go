@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/openml"
+)
+
+// WinnersResult is the dataset-level analysis of paper §3.2.1: for each
+// search time, how many datasets each system wins, and how wins relate to
+// data characteristics (rows, features, classes).
+type WinnersResult struct {
+	// Budgets lists the analyzed budgets in order.
+	Budgets []time.Duration
+	// Wins[budget][system] counts datasets the system wins at that
+	// budget.
+	Wins map[time.Duration]map[string]int
+	// PerDataset[budget][dataset] names the winning system.
+	PerDataset map[time.Duration]map[string]string
+	// Datasets counts the datasets analyzed per budget.
+	Datasets map[time.Duration]int
+}
+
+// Winners computes, per budget, the system with the highest mean test
+// score on each dataset (paper §3.2.1's "dataset-level predictive
+// performance").
+func Winners(records []Record) WinnersResult {
+	type cell struct {
+		budget  time.Duration
+		system  string
+		dataset string
+	}
+	scores := map[cell][]float64{}
+	budgetSet := map[time.Duration]bool{}
+	for _, r := range records {
+		if r.Failed {
+			continue
+		}
+		key := cell{r.Budget, r.System, r.Dataset}
+		scores[key] = append(scores[key], r.TestScore)
+		budgetSet[r.Budget] = true
+	}
+
+	res := WinnersResult{
+		Wins:       map[time.Duration]map[string]int{},
+		PerDataset: map[time.Duration]map[string]string{},
+		Datasets:   map[time.Duration]int{},
+	}
+	for b := range budgetSet {
+		res.Budgets = append(res.Budgets, b)
+	}
+	sort.Slice(res.Budgets, func(i, j int) bool { return res.Budgets[i] < res.Budgets[j] })
+
+	for _, budget := range res.Budgets {
+		best := map[string]string{} // dataset -> system
+		bestScore := map[string]float64{}
+		for key, runs := range scores {
+			if key.budget != budget {
+				continue
+			}
+			mean := metrics.MeanStd(runs).Mean
+			cur, ok := bestScore[key.dataset]
+			// Exact ties resolve to the lexicographically smaller system
+			// name so the analysis is deterministic under map iteration.
+			if !ok || mean > cur || (mean == cur && key.system < best[key.dataset]) {
+				bestScore[key.dataset] = mean
+				best[key.dataset] = key.system
+			}
+		}
+		wins := map[string]int{}
+		for _, system := range best {
+			wins[system]++
+		}
+		res.Wins[budget] = wins
+		res.PerDataset[budget] = best
+		res.Datasets[budget] = len(best)
+	}
+	return res
+}
+
+// CharacteristicBreakdown relates wins at one budget to the dataset
+// characteristics the paper analyzes: small datasets (<1k rows, <20
+// features in the published analysis — scaled thresholds here), wide
+// datasets, many-class datasets.
+type CharacteristicBreakdown struct {
+	// SmallWins[system] counts wins on small datasets (by published
+	// full-size signature: <= 3000 rows, <= 20 features).
+	SmallWins map[string]int
+	// WideWins[system] counts wins on wide datasets (> 500 features).
+	WideWins map[string]int
+	// ManyClassWins[system] counts wins on many-class datasets (> 10
+	// classes).
+	ManyClassWins map[string]int
+}
+
+// Characteristics breaks one budget's winners down by the published
+// dataset signatures (paper §3.2.1: "TabPFN works particularly well for
+// small datasets", "FLAML performs well for large number of features",
+// "for large number of classes, ensemble-based systems perform well").
+func (r WinnersResult) Characteristics(budget time.Duration) CharacteristicBreakdown {
+	specs := map[string]openml.Spec{}
+	for _, s := range openml.Suite() {
+		specs[s.Name] = s
+	}
+	out := CharacteristicBreakdown{
+		SmallWins:     map[string]int{},
+		WideWins:      map[string]int{},
+		ManyClassWins: map[string]int{},
+	}
+	for dataset, system := range r.PerDataset[budget] {
+		spec, ok := specs[dataset]
+		if !ok {
+			continue
+		}
+		if spec.Rows <= 3000 && spec.Features <= 20 {
+			out.SmallWins[system]++
+		}
+		if spec.Features > 500 {
+			out.WideWins[system]++
+		}
+		if spec.Classes > 10 {
+			out.ManyClassWins[system]++
+		}
+	}
+	return out
+}
+
+// Render formats the dataset-level analysis.
+func (r WinnersResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Dataset-level analysis (paper §3.2.1) — wins per system and search time\n")
+	for _, budget := range r.Budgets {
+		fmt.Fprintf(&sb, "%s (%d datasets):", FormatBudget(budget), r.Datasets[budget])
+		wins := r.Wins[budget]
+		systems := make([]string, 0, len(wins))
+		for s := range wins {
+			systems = append(systems, s)
+		}
+		sort.Slice(systems, func(i, j int) bool {
+			if wins[systems[i]] != wins[systems[j]] {
+				return wins[systems[i]] > wins[systems[j]]
+			}
+			return systems[i] < systems[j]
+		})
+		for _, s := range systems {
+			fmt.Fprintf(&sb, "  %s %d/%d", s, wins[s], r.Datasets[budget])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

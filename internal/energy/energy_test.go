@@ -1,0 +1,259 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+)
+
+func TestStageString(t *testing.T) {
+	for stage, want := range map[Stage]string{
+		Development: "development",
+		Execution:   "execution",
+		Inference:   "inference",
+		Stage(9):    "Stage(9)",
+	} {
+		if got := stage.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	// Paper Table 4 math: TabPFN's 404,649 kWh at 0.222 kg/kWh and
+	// 0.20 EUR/kWh.
+	kwh := 404649.0
+	if got := CO2Kg(kwh); math.Abs(got-89832.078) > 0.001 {
+		t.Errorf("CO2Kg = %v, want ~89832 (paper Table 4)", got)
+	}
+	if got := CostEUR(kwh); math.Abs(got-80929.8) > 0.001 {
+		t.Errorf("CostEUR = %v, want ~80930 (paper Table 4)", got)
+	}
+}
+
+func TestTrackerAccounting(t *testing.T) {
+	var tr Tracker
+	tr.AddJoules(Execution, JoulesPerKWh) // exactly 1 kWh
+	tr.AddJoules(Inference, JoulesPerKWh/2)
+	tr.AddJoules(Development, -5) // ignored
+	tr.AddJoules(Stage(42), 100)  // ignored
+	if got := tr.KWh(Execution); got != 1 {
+		t.Errorf("Execution = %v kWh, want 1", got)
+	}
+	if got := tr.KWh(Inference); got != 0.5 {
+		t.Errorf("Inference = %v kWh, want 0.5", got)
+	}
+	if got := tr.KWh(Development); got != 0 {
+		t.Errorf("Development = %v kWh, want 0", got)
+	}
+	if got := tr.TotalKWh(); got != 1.5 {
+		t.Errorf("Total = %v kWh, want 1.5", got)
+	}
+	tr.AddBusy(Execution, time.Minute)
+	if got := tr.BusyTime(Execution); got != time.Minute {
+		t.Errorf("BusyTime = %v, want 1m", got)
+	}
+	if got := tr.BusyTime(Stage(-1)); got != 0 {
+		t.Errorf("BusyTime(invalid) = %v, want 0", got)
+	}
+	tr.Reset()
+	if tr.TotalKWh() != 0 {
+		t.Error("Reset left energy behind")
+	}
+}
+
+func TestReportDerivations(t *testing.T) {
+	r := Report{DevelopmentKWh: 1, ExecutionKWh: 2, InferenceKWh: 3}
+	if got := r.TotalKWh(); got != 6 {
+		t.Errorf("TotalKWh = %v, want 6", got)
+	}
+	if got := r.CO2Kg(); math.Abs(got-6*GridCO2KgPerKWh) > 1e-12 {
+		t.Errorf("CO2Kg = %v", got)
+	}
+	if got := r.CostEUR(); math.Abs(got-6*EURPerKWh) > 1e-12 {
+		t.Errorf("CostEUR = %v", got)
+	}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestMeterRunChargesAndAdvances(t *testing.T) {
+	m := NewMeter(hw.XeonGold6132(), 1)
+	w := hw.Work{FLOPs: 1e7, Kind: hw.KindGeneric}
+	d := m.Run(Execution, w)
+	if d <= 0 {
+		t.Fatal("no duration for real work")
+	}
+	if got := m.Clock().Now(); got != d {
+		t.Errorf("clock at %v, want %v", got, d)
+	}
+	wantJ := m.Machine().Power(1, false, false) * d.Seconds()
+	if got := m.Tracker().Joules(Execution); math.Abs(got-wantJ) > 1e-9 {
+		t.Errorf("charged %v J, want %v", got, wantJ)
+	}
+	if m.Tracker().Joules(Inference) != 0 {
+		t.Error("wrong stage charged")
+	}
+}
+
+func TestMeterCoresClamped(t *testing.T) {
+	m := NewMeter(hw.XeonGold6132(), 1000)
+	if got := m.Cores(); got != 28 {
+		t.Errorf("cores = %d, want clamp to 28", got)
+	}
+	m = NewMeter(hw.XeonGold6132(), -3)
+	if got := m.Cores(); got != 1 {
+		t.Errorf("cores = %d, want clamp to 1", got)
+	}
+}
+
+func TestMeterGPUModes(t *testing.T) {
+	work := hw.Work{FLOPs: 1e8, Kind: hw.KindMatrix}
+
+	run := func(mode GPUMode) (time.Duration, float64) {
+		m := NewMeter(hw.T4Machine(), 1)
+		m.SetGPUMode(mode)
+		d := m.Run(Inference, work)
+		return d, m.Tracker().Joules(Inference)
+	}
+	dOff, jOff := run(GPUOff)
+	dIdle, jIdle := run(GPUIdle)
+	dActive, jActive := run(GPUActive)
+
+	if dIdle != dOff {
+		t.Errorf("idle GPU changed duration: %v vs %v", dIdle, dOff)
+	}
+	if jIdle <= jOff {
+		t.Errorf("idle GPU did not cost extra energy: %v vs %v", jIdle, jOff)
+	}
+	if dActive >= dOff {
+		t.Errorf("offloaded matrix work not faster: %v vs %v", dActive, dOff)
+	}
+	if jActive >= jOff {
+		t.Errorf("offloaded matrix work not cheaper overall: %v vs %v J", jActive, jOff)
+	}
+
+	// A GPU-less machine degrades every mode to off.
+	m := NewMeter(hw.XeonGold6132(), 1)
+	m.SetGPUMode(GPUActive)
+	if m.GPUMode() != GPUOff {
+		t.Error("GPU mode stuck on for a GPU-less machine")
+	}
+}
+
+func TestMeterRunParallel(t *testing.T) {
+	works := make([]hw.Work, 8)
+	for i := range works {
+		works[i] = hw.Work{FLOPs: 1e7, Kind: hw.KindGeneric}
+	}
+	seq := NewMeter(hw.XeonGold6132(), 1)
+	seqD := seq.RunParallel(Execution, works)
+	par := NewMeter(hw.XeonGold6132(), 8)
+	parD := par.RunParallel(Execution, works)
+	if parD >= seqD {
+		t.Errorf("8-core makespan %v not below single-core %v", parD, seqD)
+	}
+	if got := parD; got < seqD/8 {
+		t.Errorf("makespan %v below the perfect-speedup bound %v", got, seqD/8)
+	}
+	// Energy: shorter time but higher power; for this workload the
+	// parallel run must consume less energy (the AutoGluon side of
+	// paper Fig. 5).
+	if par.Tracker().Joules(Execution) >= seq.Tracker().Joules(Execution) {
+		t.Errorf("parallel bagging consumed more energy: %v vs %v J",
+			par.Tracker().Joules(Execution), seq.Tracker().Joules(Execution))
+	}
+	if NewMeter(hw.XeonGold6132(), 2).RunParallel(Execution, nil) != 0 {
+		t.Error("empty batch took time")
+	}
+}
+
+func TestMeterIdle(t *testing.T) {
+	m := NewMeter(hw.XeonGold6132(), 4)
+	m.Idle(Execution, 10*time.Second)
+	if got := m.Clock().Now(); got != 10*time.Second {
+		t.Errorf("clock at %v, want 10s", got)
+	}
+	want := m.Machine().Power(1, false, false) * 10
+	if got := m.Tracker().Joules(Execution); math.Abs(got-want) > 1e-9 {
+		t.Errorf("idle charged %v J, want %v (base power only)", got, want)
+	}
+	m.Idle(Execution, -time.Second) // no-op
+	if m.Clock().Now() != 10*time.Second {
+		t.Error("negative idle advanced the clock")
+	}
+}
+
+func TestMeterBudget(t *testing.T) {
+	m := NewMeter(hw.XeonGold6132(), 1)
+	b := m.NewBudget(time.Second)
+	m.Run(Execution, hw.Work{FLOPs: 3e6, Kind: hw.KindGeneric}) // 1.5s at 2e6 flops/s
+	if !b.Exceeded() {
+		t.Error("budget not exceeded after 1.5s of work")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var tr Tracker
+	tr.AddJoules(Development, JoulesPerKWh)
+	tr.AddJoules(Execution, 2*JoulesPerKWh)
+	tr.AddJoules(Inference, 3*JoulesPerKWh)
+	r := tr.Snapshot()
+	if r.DevelopmentKWh != 1 || r.ExecutionKWh != 2 || r.InferenceKWh != 3 {
+		t.Errorf("snapshot %+v", r)
+	}
+}
+
+func TestTimelineRecordsCharges(t *testing.T) {
+	m := NewMeter(hw.XeonGold6132(), 1)
+	tl := &Timeline{}
+	m.SetTimeline(tl)
+	m.Run(Execution, hw.Work{FLOPs: 1e6, Kind: hw.KindGeneric})
+	m.Run(Inference, hw.Work{FLOPs: 2e6, Kind: hw.KindGeneric})
+	if tl.Len() != 2 {
+		t.Fatalf("timeline has %d samples, want 2", tl.Len())
+	}
+	samples := tl.Samples()
+	if samples[0].Stage != Execution || samples[1].Stage != Inference {
+		t.Errorf("stages %v %v", samples[0].Stage, samples[1].Stage)
+	}
+	if samples[1].At <= samples[0].At {
+		t.Error("samples not time-ordered")
+	}
+	if samples[1].CumulativeKWh[1] <= 0 || samples[1].CumulativeKWh[2] <= 0 {
+		t.Errorf("cumulative energy missing: %v", samples[1].CumulativeKWh)
+	}
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("csv lines %d, want header + 2", len(lines))
+	}
+	if m.Timeline() != tl {
+		t.Error("timeline accessor broken")
+	}
+}
+
+func TestTimelineDownsamples(t *testing.T) {
+	m := NewMeter(hw.XeonGold6132(), 1)
+	tl := &Timeline{MaxSamples: 8}
+	m.SetTimeline(tl)
+	for i := 0; i < 40; i++ {
+		m.Run(Execution, hw.Work{FLOPs: 1e5, Kind: hw.KindGeneric})
+	}
+	if tl.Len() > 16 {
+		t.Errorf("timeline grew to %d samples despite MaxSamples 8", tl.Len())
+	}
+	samples := tl.Samples()
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At < samples[i-1].At {
+			t.Fatal("downsampled timeline out of order")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Sample is one point of a consumption timeline: cumulative energy per
+// stage at a virtual instant.
+type Sample struct {
+	// At is the virtual time of the sample.
+	At time.Duration
+	// Stage is the stage the triggering charge belonged to.
+	Stage Stage
+	// CumulativeKWh holds the tracker's per-stage totals at the sample.
+	CumulativeKWh [3]float64
+}
+
+// Timeline records consumption samples over virtual time — the equivalent
+// of CodeCarbon's periodic emissions log, which the paper's measurement
+// pipeline writes while systems run. Attach one to a meter with
+// Meter.SetTimeline; every charge appends a sample.
+type Timeline struct {
+	samples []Sample
+	// MaxSamples bounds memory; once reached, every second sample is
+	// dropped (halving resolution). 0 means 65536.
+	MaxSamples int
+}
+
+// Samples returns the recorded samples in time order.
+func (tl *Timeline) Samples() []Sample { return tl.samples }
+
+// Len reports the number of recorded samples.
+func (tl *Timeline) Len() int { return len(tl.samples) }
+
+func (tl *Timeline) record(at time.Duration, stage Stage, tracker *Tracker) {
+	limit := tl.MaxSamples
+	if limit <= 0 {
+		limit = 65536
+	}
+	if len(tl.samples) >= limit {
+		// Halve resolution: keep every second sample.
+		kept := tl.samples[:0]
+		for i, s := range tl.samples {
+			if i%2 == 0 {
+				kept = append(kept, s)
+			}
+		}
+		tl.samples = kept
+	}
+	tl.samples = append(tl.samples, Sample{
+		At:    at,
+		Stage: stage,
+		CumulativeKWh: [3]float64{
+			tracker.KWh(Development),
+			tracker.KWh(Execution),
+			tracker.KWh(Inference),
+		},
+	})
+}
+
+// WriteCSV exports the timeline in a CodeCarbon-like layout: virtual
+// seconds, triggering stage, cumulative kWh per stage.
+func (tl *Timeline) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds", "stage", "development_kwh", "execution_kwh", "inference_kwh"}); err != nil {
+		return fmt.Errorf("energy: writing timeline header: %w", err)
+	}
+	for _, s := range tl.samples {
+		row := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 6, 64),
+			s.Stage.String(),
+			strconv.FormatFloat(s.CumulativeKWh[0], 'g', -1, 64),
+			strconv.FormatFloat(s.CumulativeKWh[1], 'g', -1, 64),
+			strconv.FormatFloat(s.CumulativeKWh[2], 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("energy: writing timeline row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SetTimeline attaches (or, with nil, detaches) a timeline recorder.
+func (m *Meter) SetTimeline(tl *Timeline) { m.timeline = tl }
+
+// Timeline returns the attached recorder, if any.
+func (m *Meter) Timeline() *Timeline { return m.timeline }

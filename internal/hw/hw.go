@@ -1,0 +1,285 @@
+// Package hw models the hardware the paper's experiments ran on.
+//
+// The paper measures energy with CodeCarbon on two physical testbeds: a
+// 28-core Xeon Gold 6132 machine (CPU experiments) and an 8-core machine
+// with one NVIDIA T4 (GPU experiments). This reproduction has no physical
+// access to such machines, so hardware is modelled explicitly: a Machine
+// converts abstract work (FLOPs, annotated with a workload kind and an
+// Amdahl parallel fraction) into virtual seconds, and exposes a power model
+// (watts as a function of busy cores and GPU activity) that the energy
+// tracker integrates over virtual time.
+//
+// The model is deliberately simple but encodes the three mechanisms the
+// paper's hardware findings rest on:
+//
+//   - multi-core power grows sublinearly (shared caches, shared uncore), so
+//     a budget-bound workload burns more — but less than linearly more —
+//     energy on more cores (paper Fig. 5, CAML);
+//   - embarrassingly parallel workloads finish earlier on more cores, and
+//     "less runtime yields less consumed energy" (paper Fig. 5, AutoGluon);
+//   - GPUs accelerate only matrix workloads; anything else leaves the GPU
+//     drawing idle power for nothing (paper Table 3).
+package hw
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// WorkKind classifies a unit of work by how hardware executes it.
+type WorkKind int
+
+const (
+	// KindGeneric is scalar, branchy compute: scikit-learn-style training
+	// loops, distance computations, bookkeeping.
+	KindGeneric WorkKind = iota
+	// KindTree is decision-tree induction and traversal: branchy,
+	// cache-unfriendly, no vectorization and no GPU benefit.
+	KindTree
+	// KindMatrix is dense linear algebra: MLP layers, PCA, attention.
+	// It vectorizes on CPU and accelerates strongly on GPU.
+	KindMatrix
+)
+
+// String implements fmt.Stringer.
+func (k WorkKind) String() string {
+	switch k {
+	case KindGeneric:
+		return "generic"
+	case KindTree:
+		return "tree"
+	case KindMatrix:
+		return "matrix"
+	default:
+		return fmt.Sprintf("WorkKind(%d)", int(k))
+	}
+}
+
+// Work is one schedulable unit of compute.
+type Work struct {
+	// FLOPs is the abstract operation count of the unit.
+	FLOPs float64
+	// Kind selects the throughput profile.
+	Kind WorkKind
+	// ParallelFrac is the Amdahl fraction of the unit that can use
+	// multiple cores (0 = strictly sequential, 1 = perfectly parallel).
+	ParallelFrac float64
+}
+
+// CPU describes a processor package.
+type CPU struct {
+	// Cores is the number of physical cores.
+	Cores int
+	// FLOPSPerCore is the effective scalar throughput of one core in
+	// FLOPs per virtual second. It is a calibration constant: the paper
+	// ran full-size datasets for 10s–5min budgets; this reproduction runs
+	// scaled-down datasets, so throughput is scaled down with them to
+	// keep the number of pipeline evaluations per budget realistic.
+	FLOPSPerCore float64
+	// MatrixSpeedup is the vectorization factor KindMatrix work enjoys
+	// over KindGeneric on this CPU.
+	MatrixSpeedup float64
+	// TreeSlowdown is the throughput penalty (>= 1) for KindTree work.
+	TreeSlowdown float64
+	// BasePower is the package's idle draw in watts (uncore, DRAM).
+	BasePower float64
+	// CorePower is the additional draw of one busy core in watts.
+	CorePower float64
+	// PowerExponent in (0,1] makes multi-core power sublinear:
+	// busy-core draw is CorePower * cores^PowerExponent. The paper
+	// attributes the sublinearity to cache sharing across cores working
+	// on the same data.
+	PowerExponent float64
+	// ParallelEfficiency in (0,1] discounts multi-core speedup:
+	// effective worker count is 1 + (cores-1)*ParallelEfficiency.
+	ParallelEfficiency float64
+}
+
+// GPU describes an accelerator. A zero GPU (Present == false) means the
+// machine has none.
+type GPU struct {
+	// Present reports whether the accelerator exists.
+	Present bool
+	// IdlePower is the draw in watts while the GPU sits unused. It is
+	// paid whenever the machine is active, which is exactly why running
+	// tree ensembles on a GPU machine wastes energy (paper Table 3).
+	IdlePower float64
+	// ActivePower is the additional draw while a kernel runs.
+	ActivePower float64
+	// MatrixSpeedup is the GPU's throughput on KindMatrix work relative
+	// to a single CPU core of this machine.
+	MatrixSpeedup float64
+}
+
+// Machine is a complete testbed.
+type Machine struct {
+	// Name identifies the testbed in reports.
+	Name string
+	// CPU is the processor model.
+	CPU CPU
+	// GPU is the accelerator model, if any.
+	GPU GPU
+}
+
+// Validate reports a descriptive error if the machine parameters are
+// unusable.
+func (m *Machine) Validate() error {
+	switch {
+	case m.CPU.Cores < 1:
+		return fmt.Errorf("hw: machine %q: cores must be >= 1, got %d", m.Name, m.CPU.Cores)
+	case m.CPU.FLOPSPerCore <= 0:
+		return fmt.Errorf("hw: machine %q: FLOPSPerCore must be > 0, got %g", m.Name, m.CPU.FLOPSPerCore)
+	case m.CPU.MatrixSpeedup <= 0:
+		return fmt.Errorf("hw: machine %q: MatrixSpeedup must be > 0, got %g", m.Name, m.CPU.MatrixSpeedup)
+	case m.CPU.TreeSlowdown < 1:
+		return fmt.Errorf("hw: machine %q: TreeSlowdown must be >= 1, got %g", m.Name, m.CPU.TreeSlowdown)
+	case m.CPU.PowerExponent <= 0 || m.CPU.PowerExponent > 1:
+		return fmt.Errorf("hw: machine %q: PowerExponent must be in (0,1], got %g", m.Name, m.CPU.PowerExponent)
+	case m.CPU.ParallelEfficiency <= 0 || m.CPU.ParallelEfficiency > 1:
+		return fmt.Errorf("hw: machine %q: ParallelEfficiency must be in (0,1], got %g", m.Name, m.CPU.ParallelEfficiency)
+	case m.GPU.Present && m.GPU.MatrixSpeedup <= 0:
+		return fmt.Errorf("hw: machine %q: GPU MatrixSpeedup must be > 0, got %g", m.Name, m.GPU.MatrixSpeedup)
+	}
+	return nil
+}
+
+// throughput returns the effective FLOPs per virtual second of one core for
+// the given kind.
+func (c *CPU) throughput(kind WorkKind) float64 {
+	switch kind {
+	case KindMatrix:
+		return c.FLOPSPerCore * c.MatrixSpeedup
+	case KindTree:
+		return c.FLOPSPerCore / c.TreeSlowdown
+	default:
+		return c.FLOPSPerCore
+	}
+}
+
+// Duration converts one unit of work into virtual time on `cores` CPU cores.
+// Amdahl's law with the CPU's parallel efficiency bounds the speedup.
+func (m *Machine) Duration(w Work, cores int) time.Duration {
+	if w.FLOPs <= 0 {
+		return 0
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	if cores > m.CPU.Cores {
+		cores = m.CPU.Cores
+	}
+	base := w.FLOPs / m.CPU.throughput(w.Kind)
+	if cores > 1 && w.ParallelFrac > 0 {
+		eff := 1 + float64(cores-1)*m.CPU.ParallelEfficiency
+		p := w.ParallelFrac
+		if p > 1 {
+			p = 1
+		}
+		base *= (1 - p) + p/eff
+	}
+	return secondsToDuration(base)
+}
+
+// GPUDuration converts one unit of work into virtual time when offloaded to
+// the GPU. Non-matrix work cannot be offloaded and falls back to a single
+// CPU core (the GPU still draws idle power; see Power). The second return
+// reports whether the GPU actually executed the work.
+func (m *Machine) GPUDuration(w Work) (time.Duration, bool) {
+	if !m.GPU.Present || w.Kind != KindMatrix {
+		return m.Duration(w, 1), false
+	}
+	secs := w.FLOPs / (m.CPU.FLOPSPerCore * m.GPU.MatrixSpeedup)
+	return secondsToDuration(secs), true
+}
+
+// Power reports the machine's draw in watts with `busyCores` active cores.
+// gpuEnabled models a process with GPU drivers loaded: the accelerator
+// draws idle power even when no kernel runs — the mechanism that makes
+// CPU-bound systems waste energy on GPU machines (paper Table 3). gpuBusy
+// adds the active kernel draw.
+func (m *Machine) Power(busyCores int, gpuEnabled, gpuBusy bool) float64 {
+	if busyCores < 1 {
+		busyCores = 1
+	}
+	if busyCores > m.CPU.Cores {
+		busyCores = m.CPU.Cores
+	}
+	watts := m.CPU.BasePower + m.CPU.CorePower*math.Pow(float64(busyCores), m.CPU.PowerExponent)
+	if m.GPU.Present && gpuEnabled {
+		watts += m.GPU.IdlePower
+		if gpuBusy {
+			watts += m.GPU.ActivePower
+		}
+	}
+	return watts
+}
+
+// Energy reports the energy in joules of running with busyCores (and the
+// given GPU state) for duration d.
+func (m *Machine) Energy(d time.Duration, busyCores int, gpuEnabled, gpuBusy bool) float64 {
+	return m.Power(busyCores, gpuEnabled, gpuBusy) * d.Seconds()
+}
+
+func secondsToDuration(secs float64) time.Duration {
+	if secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs * float64(time.Second))
+	if d <= 0 {
+		// Sub-nanosecond work still takes one tick so that repeated
+		// tiny operations cannot be free.
+		return time.Nanosecond
+	}
+	return d
+}
+
+// XeonGold6132 returns the model of the paper's CPU testbed: "Ubuntu 16.04,
+// 28 x Intel Xeon Gold 6132 @ 2.60GHz, 264 GB RAM". FLOPSPerCore is a
+// calibration constant, not the chip's real throughput: the benchmark
+// datasets are scaled-down stand-ins for the full AMLB tasks, so model
+// costs must be amplified correspondingly — a low virtual throughput makes
+// one fit on a scaled dataset take as long as the full-size fit would,
+// which keeps the number of pipeline evaluations per budget realistic and
+// the whole 28-day grid replayable in minutes of real time.
+func XeonGold6132() *Machine {
+	return &Machine{
+		Name: "xeon-gold-6132",
+		CPU: CPU{
+			Cores:              28,
+			FLOPSPerCore:       2e6,
+			MatrixSpeedup:      4,
+			TreeSlowdown:       1.5,
+			BasePower:          40,
+			CorePower:          12.5,
+			PowerExponent:      1.0, // Power(8)/Power(1) ~ 2.67: paper reports up to 2.7x at 8 cores
+			ParallelEfficiency: 0.85,
+		},
+	}
+}
+
+// T4Machine returns the model of the paper's GPU testbed: "Linux 6.1.58,
+// 8 x Intel Xeon @ 2.00GHz, 1 x T4 GPU, 51 GB RAM". Its CPU is both fewer
+// and weaker cores than the Xeon testbed, which is why CPU-bound systems
+// run slower and less efficiently on it (paper Table 3, AutoGluon rows).
+func T4Machine() *Machine {
+	return &Machine{
+		Name: "t4-gpu",
+		CPU: CPU{
+			Cores:              8,
+			FLOPSPerCore:       1.25e6,
+			MatrixSpeedup:      4,
+			TreeSlowdown:       1.5,
+			BasePower:          25,
+			CorePower:          11,
+			PowerExponent:      1.0,
+			ParallelEfficiency: 0.85,
+		},
+		GPU: GPU{
+			Present:       true,
+			IdlePower:     11,
+			ActivePower:   60,
+			MatrixSpeedup: 90,
+		},
+	}
+}

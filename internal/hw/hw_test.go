@@ -1,0 +1,204 @@
+package hw
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range []*Machine{XeonGold6132(), T4Machine()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if !T4Machine().GPU.Present {
+		t.Error("T4 machine has no GPU")
+	}
+	if XeonGold6132().GPU.Present {
+		t.Error("Xeon testbed unexpectedly has a GPU")
+	}
+	if got := XeonGold6132().CPU.Cores; got != 28 {
+		t.Errorf("Xeon cores = %d, want 28 (paper §3.1)", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Machine)
+		want   string
+	}{
+		{"no cores", func(m *Machine) { m.CPU.Cores = 0 }, "cores"},
+		{"zero throughput", func(m *Machine) { m.CPU.FLOPSPerCore = 0 }, "FLOPSPerCore"},
+		{"zero matrix", func(m *Machine) { m.CPU.MatrixSpeedup = 0 }, "MatrixSpeedup"},
+		{"tree speedup", func(m *Machine) { m.CPU.TreeSlowdown = 0.5 }, "TreeSlowdown"},
+		{"power exponent", func(m *Machine) { m.CPU.PowerExponent = 1.5 }, "PowerExponent"},
+		{"parallel efficiency", func(m *Machine) { m.CPU.ParallelEfficiency = 0 }, "ParallelEfficiency"},
+		{"gpu speedup", func(m *Machine) { m.GPU = GPU{Present: true} }, "GPU MatrixSpeedup"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := XeonGold6132()
+			tc.mutate(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken machine")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDurationKindProfiles(t *testing.T) {
+	m := XeonGold6132()
+	flops := 1e8
+	generic := m.Duration(Work{FLOPs: flops, Kind: KindGeneric}, 1)
+	tree := m.Duration(Work{FLOPs: flops, Kind: KindTree}, 1)
+	matrix := m.Duration(Work{FLOPs: flops, Kind: KindMatrix}, 1)
+	if !(matrix < generic && generic < tree) {
+		t.Errorf("kind profile violated: matrix %v, generic %v, tree %v", matrix, generic, tree)
+	}
+}
+
+func TestDurationAmdahl(t *testing.T) {
+	m := XeonGold6132()
+	w := Work{FLOPs: 1e8, Kind: KindGeneric, ParallelFrac: 0.9}
+	d1 := m.Duration(w, 1)
+	d4 := m.Duration(w, 4)
+	d8 := m.Duration(w, 8)
+	if !(d8 < d4 && d4 < d1) {
+		t.Errorf("more cores did not speed up parallel work: %v, %v, %v", d1, d4, d8)
+	}
+	// The sequential remainder bounds the speedup.
+	if d8 < time.Duration(float64(d1)/10) {
+		t.Errorf("speedup exceeds the Amdahl bound: %v vs %v", d8, d1)
+	}
+	// Strictly sequential work gains nothing.
+	seq := Work{FLOPs: 1e8, Kind: KindGeneric, ParallelFrac: 0}
+	if m.Duration(seq, 8) != m.Duration(seq, 1) {
+		t.Error("sequential work sped up with more cores")
+	}
+}
+
+func TestDurationEdgeCases(t *testing.T) {
+	m := XeonGold6132()
+	if m.Duration(Work{FLOPs: 0}, 1) != 0 {
+		t.Error("zero work took time")
+	}
+	if m.Duration(Work{FLOPs: -5}, 1) != 0 {
+		t.Error("negative work took time")
+	}
+	if got := m.Duration(Work{FLOPs: 1e-9}, 1); got < time.Nanosecond {
+		t.Errorf("tiny work was free: %v", got)
+	}
+	// Core counts clamp to the machine.
+	w := Work{FLOPs: 1e8, ParallelFrac: 1}
+	if m.Duration(w, 1000) != m.Duration(w, m.CPU.Cores) {
+		t.Error("core count not clamped to the machine")
+	}
+}
+
+func TestPowerSublinearInCores(t *testing.T) {
+	m := XeonGold6132()
+	p1 := m.Power(1, false, false)
+	p8 := m.Power(8, false, false)
+	if p8 <= p1 {
+		t.Fatalf("8-core power %v not above 1-core %v", p8, p1)
+	}
+	if p8 >= 8*p1 {
+		t.Errorf("8-core power %v not sublinear vs 8x1-core %v", p8, 8*p1)
+	}
+	// Paper Fig. 5: CAML on 8 cores needs up to 2.7x the energy of 1
+	// core for the same (budget-bound) runtime — the power ratio must
+	// sit near that.
+	ratio := p8 / p1
+	if ratio < 2.2 || ratio > 3.0 {
+		t.Errorf("Power(8)/Power(1) = %.2f, want ~2.7 (paper Fig. 5)", ratio)
+	}
+}
+
+func TestGPUPowerStates(t *testing.T) {
+	m := T4Machine()
+	off := m.Power(1, false, false)
+	idle := m.Power(1, true, false)
+	busy := m.Power(1, true, true)
+	if !(off < idle && idle < busy) {
+		t.Errorf("GPU power states not ordered: off %v, idle %v, busy %v", off, idle, busy)
+	}
+	// A machine without a GPU ignores the flags.
+	x := XeonGold6132()
+	if x.Power(1, true, true) != x.Power(1, false, false) {
+		t.Error("GPU flags changed power on a GPU-less machine")
+	}
+}
+
+func TestGPUDuration(t *testing.T) {
+	m := T4Machine()
+	w := Work{FLOPs: 1e8, Kind: KindMatrix}
+	gpuD, onGPU := m.GPUDuration(w)
+	if !onGPU {
+		t.Fatal("matrix work did not offload")
+	}
+	cpuD := m.Duration(w, 1)
+	if gpuD >= cpuD {
+		t.Errorf("GPU matrix %v not faster than CPU %v", gpuD, cpuD)
+	}
+	// Tree work cannot offload and falls back to one CPU core.
+	tw := Work{FLOPs: 1e8, Kind: KindTree}
+	fallD, onGPU := m.GPUDuration(tw)
+	if onGPU {
+		t.Error("tree work offloaded to GPU")
+	}
+	if fallD != m.Duration(tw, 1) {
+		t.Errorf("fallback duration %v != single-core %v", fallD, m.Duration(tw, 1))
+	}
+	// No GPU: everything falls back.
+	x := XeonGold6132()
+	if _, onGPU := x.GPUDuration(w); onGPU {
+		t.Error("GPU-less machine offloaded")
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	m := XeonGold6132()
+	d := 10 * time.Second
+	want := m.Power(4, false, false) * 10
+	if got := m.Energy(d, 4, false, false); got != want {
+		t.Errorf("Energy = %v, want %v", got, want)
+	}
+}
+
+// TestDurationMonotoneInWork property-checks that more FLOPs never take
+// less time.
+func TestDurationMonotoneInWork(t *testing.T) {
+	m := XeonGold6132()
+	property := func(a, b uint32, kind uint8) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		k := WorkKind(kind % 3)
+		return m.Duration(Work{FLOPs: lo, Kind: k}, 1) <= m.Duration(Work{FLOPs: hi, Kind: k}, 1)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(34))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkKindString(t *testing.T) {
+	for kind, want := range map[WorkKind]string{
+		KindGeneric:  "generic",
+		KindTree:     "tree",
+		KindMatrix:   "matrix",
+		WorkKind(99): "WorkKind(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(kind), got, want)
+		}
+	}
+}

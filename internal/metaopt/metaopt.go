@@ -1,0 +1,316 @@
+// Package metaopt implements the paper's development-stage optimizer
+// (§2.5, Fig. 2): tuning an AutoML system's *own* parameters for a given
+// search-time budget.
+//
+// The pipeline is exactly the paper's: (1) cluster the candidate datasets
+// by metadata features (instances, features, classes, skew) with k-means
+// and pick the dataset closest to each centroid as a representative;
+// (2) run Bayesian optimization over the AutoML system parameters of CAML
+// — the ML hyperparameter search space plus six system parameters —
+// scoring each candidate by the relative accuracy improvement over the
+// default parameters, summed over representative datasets; (3) prune bad
+// candidates early with the median rule after each dataset. Every CAML
+// execution inside the loop is charged to the development stage — this is
+// the energy Figure 7 reports and that must amortize over later
+// executions.
+package metaopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/automl"
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/openml"
+	"repro/internal/pipeline"
+	"repro/internal/search"
+	"repro/internal/tabular"
+)
+
+// Options configure one development-stage optimization run.
+type Options struct {
+	// Budget is the CAML search time the parameters are tuned for — the
+	// result is search-time specific (paper §2.5).
+	Budget time.Duration
+	// TopK is the number of representative datasets (paper default 20).
+	TopK int
+	// Iterations is the number of BO iterations (paper default 300;
+	// Table 9 sweeps 75–600).
+	Iterations int
+	// RunsPerDataset repeats each CAML run to reduce variance (paper
+	// default 2).
+	RunsPerDataset int
+	// Machine is the hardware model; nil uses the Xeon testbed.
+	Machine *hw.Machine
+	// Scale is the dataset scale profile; zero value uses DefaultScale.
+	Scale openml.ScaleProfile
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o Options) normalized() Options {
+	if o.Budget <= 0 {
+		o.Budget = 10 * time.Second
+	}
+	if o.TopK < 1 {
+		o.TopK = 20
+	}
+	if o.Iterations < 1 {
+		o.Iterations = 300
+	}
+	if o.RunsPerDataset < 1 {
+		o.RunsPerDataset = 2
+	}
+	if o.Machine == nil {
+		o.Machine = hw.XeonGold6132()
+	}
+	if o.Scale == (openml.ScaleProfile{}) {
+		o.Scale = openml.DefaultScale()
+	}
+	return o
+}
+
+// Result is the outcome of a development-stage optimization.
+type Result struct {
+	// Params are the tuned CAML parameters for the budget.
+	Params automl.CAMLParams
+	// Objective is the tuned parameters' relative-improvement score.
+	Objective float64
+	// DevKWh is the total development-stage energy consumed.
+	DevKWh float64
+	// DevTime is the total virtual compute time consumed.
+	DevTime time.Duration
+	// Representatives names the selected representative datasets.
+	Representatives []string
+	// Trials counts completed (non-pruned) BO trials.
+	Trials int
+	// Pruned counts median-pruned trials.
+	Pruned int
+}
+
+// AmortizationRuns estimates after how many tuned-CAML executions the
+// development energy pays for itself, given the per-execution energy
+// saving (paper §3.7: 21 kWh amortize after 885 runs).
+func (r *Result) AmortizationRuns(savingPerRunKWh float64) int {
+	if savingPerRunKWh <= 0 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(r.DevKWh / savingPerRunKWh))
+}
+
+// SelectRepresentatives clusters the specs by their metadata vectors and
+// returns the spec closest to each of the k centroids (paper Fig. 2).
+func SelectRepresentatives(specs []openml.Spec, k int, rng *rand.Rand) []openml.Spec {
+	if k >= len(specs) {
+		return specs
+	}
+	points := make([][]float64, len(specs))
+	for i, s := range specs {
+		points[i] = specMetaVector(s)
+	}
+	res := search.KMeans(points, k, 40, rng)
+	reps := search.ClosestToCentroids(points, res.Centroids)
+	out := make([]openml.Spec, 0, len(reps))
+	for _, idx := range reps {
+		out = append(out, specs[idx])
+	}
+	return out
+}
+
+// specMetaVector renders the metadata features used for clustering:
+// log-instances, log-features, log-classes, imbalance, categorical
+// fraction.
+func specMetaVector(s openml.Spec) []float64 {
+	return []float64{
+		math.Log(float64(max(s.Rows, 1))),
+		math.Log(float64(max(s.Features, 1))),
+		math.Log(float64(max(s.Classes, 2))),
+		s.Imbalance * 4,
+		s.CategoricalFrac * 2,
+	}
+}
+
+// CAMLSpace is the configuration space of CAML's AutoML system parameters:
+// one inclusion flag per model family plus a complexity cap per family
+// (the search-space design), and the six scalar system parameters of
+// paper §3.7.
+func CAMLSpace() *pipeline.Space {
+	var params []pipeline.Param
+	for _, family := range pipeline.AllModels() {
+		params = append(params,
+			pipeline.Param{Name: "sys.include." + family, Kind: pipeline.Bool, Default: 1},
+			pipeline.Param{Name: "sys.cap." + family, Kind: pipeline.Float, Min: 0.2, Max: 1, Default: 1},
+		)
+	}
+	params = append(params,
+		pipeline.Param{Name: "sys.holdout", Kind: pipeline.Float, Min: 0.15, Max: 0.5, Default: 0.33},
+		pipeline.Param{Name: "sys.eval_fraction", Kind: pipeline.Float, Min: 0.05, Max: 0.4, Default: 0.1},
+		pipeline.Param{Name: "sys.sampling", Kind: pipeline.Int, Min: 0, Max: 1400, Default: 0},
+		pipeline.Param{Name: "sys.refit", Kind: pipeline.Bool, Default: 0},
+		pipeline.Param{Name: "sys.random_val_split", Kind: pipeline.Bool, Default: 0},
+		pipeline.Param{Name: "sys.incremental", Kind: pipeline.Bool, Default: 1},
+	)
+	return pipeline.NewSpace(params...)
+}
+
+// ParamsFromConfig decodes a configuration of CAMLSpace into CAML system
+// parameters.
+func ParamsFromConfig(cfg pipeline.Config) automl.CAMLParams {
+	p := automl.DefaultCAMLParams()
+	var models []string
+	for _, family := range pipeline.AllModels() {
+		if cfg.Bool("sys.include."+family, true) {
+			models = append(models, family)
+		}
+	}
+	if len(models) == 0 {
+		models = []string{"tree"}
+	}
+	caps := make(map[string]float64, len(models))
+	for _, family := range models {
+		if c := cfg.Float("sys.cap."+family, 1); c < 1 {
+			caps[family] = c
+		}
+	}
+	p.Spec = pipeline.SpaceSpec{Models: models, DataPreprocessors: true, ComplexityCaps: caps}
+	p.HoldoutFrac = cfg.Float("sys.holdout", 0.33)
+	p.EvalFraction = cfg.Float("sys.eval_fraction", 0.1)
+	p.SampleRows = cfg.Int("sys.sampling", 0)
+	if p.SampleRows < 100 {
+		p.SampleRows = 0 // tiny values mean "no upfront sampling"
+	}
+	p.Refit = cfg.Bool("sys.refit", false)
+	p.RandomValSplit = cfg.Bool("sys.random_val_split", false)
+	p.Incremental = cfg.Bool("sys.incremental", true)
+	return p
+}
+
+// Optimize runs the development-stage optimization over the given
+// candidate dataset specs (normally openml.MetaTrainSuite()).
+func Optimize(specs []openml.Spec, opts Options) (*Result, error) {
+	opts = opts.normalized()
+	if len(specs) == 0 {
+		return nil, errors.New("metaopt: no candidate datasets")
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0xde7))
+
+	reps := SelectRepresentatives(specs, opts.TopK, rng)
+	repNames := make([]string, len(reps))
+
+	// Materialize representative datasets and their train/test splits.
+	type repData struct {
+		train, test *tabular.Dataset
+	}
+	data := make([]repData, len(reps))
+	for i, spec := range reps {
+		repNames[i] = spec.Name
+		ds := openml.Generate(spec, opts.Scale, opts.Seed)
+		train, test := ds.TrainTestSplit(rng)
+		data[i] = repData{train: train, test: test}
+	}
+
+	// One development meter accumulates every CAML execution's energy.
+	devMeter := energy.NewMeter(opts.Machine, 1)
+
+	// runCAML executes CAML with the given parameters on dataset d and
+	// returns the mean test balanced accuracy over RunsPerDataset runs.
+	runCAML := func(params automl.CAMLParams, d repData, seed uint64) (float64, error) {
+		var sum float64
+		for r := 0; r < opts.RunsPerDataset; r++ {
+			sys := &automl.CAML{Params: params}
+			res, err := sys.Fit(d.train, automl.Options{
+				Budget: opts.Budget,
+				Meter:  devMeter,
+				Seed:   seed + uint64(r)*7919,
+			})
+			if err != nil {
+				return 0, err
+			}
+			pred, err := res.Predict(d.test.X, devMeter)
+			if err != nil {
+				return 0, err
+			}
+			sum += metrics.BalancedAccuracy(d.test.Y, pred, d.test.Classes)
+		}
+		return sum / float64(opts.RunsPerDataset), nil
+	}
+
+	// Baseline: default parameters on every representative dataset.
+	defaults := automl.DefaultCAMLParams()
+	baseline := make([]float64, len(data))
+	for i, d := range data {
+		acc, err := runCAML(defaults, d, opts.Seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("metaopt: baseline on %s: %w", repNames[i], err)
+		}
+		baseline[i] = acc
+	}
+
+	// BO over the system-parameter space with median pruning across
+	// datasets (paper §2.5).
+	space := CAMLSpace()
+	bo := search.NewBO(space, rng)
+	bo.MinObservations = 5
+	pruner := search.NewMedianPruner()
+
+	bestObjective := math.Inf(-1)
+	bestParams := defaults
+	trials, pruned := 0, 0
+
+	for it := 0; it < opts.Iterations; it++ {
+		cfg, _ := bo.Suggest() // surrogate cost is development-side and negligible vs CAML runs
+		params := ParamsFromConfig(cfg)
+		objective := 0.0
+		stepValues := make([]float64, 0, len(data))
+		wasPruned := false
+		for i, d := range data {
+			acc, err := runCAML(params, d, opts.Seed+uint64(1000+it*31+i))
+			if err != nil {
+				wasPruned = true
+				break
+			}
+			// Relative improvement over the default parameters
+			// (paper §2.5's objective).
+			denom := math.Max(acc, baseline[i])
+			if denom > 0 {
+				objective += (acc - baseline[i]) / denom
+			}
+			stepValues = append(stepValues, objective)
+			if pruner.ShouldPrune(i, objective) {
+				wasPruned = true
+				break
+			}
+		}
+		if wasPruned {
+			pruned++
+			bo.Observe(cfg, objective-1) // penalized partial score
+			continue
+		}
+		trials++
+		pruner.CompleteTrial(stepValues)
+		bo.Observe(cfg, objective)
+		if objective > bestObjective {
+			bestObjective = objective
+			bestParams = params
+		}
+	}
+
+	// All energy the optimization consumed is development-stage energy:
+	// fold the meter's execution/inference charges into one number.
+	devKWh := devMeter.Tracker().TotalKWh()
+
+	return &Result{
+		Params:          bestParams,
+		Objective:       bestObjective,
+		DevKWh:          devKWh,
+		DevTime:         devMeter.Clock().Now(),
+		Representatives: repNames,
+		Trials:          trials,
+		Pruned:          pruned,
+	}, nil
+}

@@ -1,0 +1,166 @@
+package metaopt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/automl"
+	"repro/internal/openml"
+	"repro/internal/pipeline"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 0x0de)) }
+
+func TestSelectRepresentatives(t *testing.T) {
+	specs := openml.MetaTrainSuite()
+	reps := SelectRepresentatives(specs, 10, testRNG(1))
+	if len(reps) != 10 {
+		t.Fatalf("selected %d representatives, want 10", len(reps))
+	}
+	seen := map[string]bool{}
+	for _, r := range reps {
+		if seen[r.Name] {
+			t.Errorf("representative %s selected twice", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	// The representatives must span the size spectrum, not collapse to
+	// one cluster.
+	minRows, maxRows := math.MaxInt, 0
+	for _, r := range reps {
+		if r.Rows < minRows {
+			minRows = r.Rows
+		}
+		if r.Rows > maxRows {
+			maxRows = r.Rows
+		}
+	}
+	if maxRows < 10*minRows {
+		t.Errorf("representatives span only %d..%d rows — clustering failed to diversify", minRows, maxRows)
+	}
+	// k >= len returns everything.
+	if got := SelectRepresentatives(specs[:5], 10, testRNG(2)); len(got) != 5 {
+		t.Errorf("oversized k returned %d specs", len(got))
+	}
+}
+
+func TestCAMLSpaceShape(t *testing.T) {
+	space := CAMLSpace()
+	// One include flag and one complexity cap per family, plus the six
+	// system parameters of paper §3.7.
+	want := 2*len(pipeline.AllModels()) + 6
+	if len(space.Params) != want {
+		t.Errorf("space has %d parameters, want %d", len(space.Params), want)
+	}
+	for _, name := range []string{"sys.holdout", "sys.eval_fraction", "sys.sampling", "sys.refit", "sys.random_val_split", "sys.incremental"} {
+		if _, ok := space.Lookup(name); !ok {
+			t.Errorf("system parameter %s missing", name)
+		}
+	}
+}
+
+func TestParamsFromConfig(t *testing.T) {
+	space := CAMLSpace()
+	cfg := space.Default()
+	// Exclude every family but two, cap one of them.
+	for _, family := range pipeline.AllModels() {
+		cfg["sys.include."+family] = 0
+	}
+	cfg["sys.include.tree"] = 1
+	cfg["sys.include.random_forest"] = 1
+	cfg["sys.cap.random_forest"] = 0.5
+	cfg["sys.holdout"] = 0.25
+	cfg["sys.sampling"] = 600
+	cfg["sys.refit"] = 1
+	cfg["sys.random_val_split"] = 1
+	cfg["sys.incremental"] = 0
+
+	p := ParamsFromConfig(cfg)
+	if len(p.Spec.Models) != 2 {
+		t.Fatalf("models %v, want tree + random_forest", p.Spec.Models)
+	}
+	if p.Spec.ComplexityCaps["random_forest"] != 0.5 {
+		t.Errorf("caps %v", p.Spec.ComplexityCaps)
+	}
+	if p.HoldoutFrac != 0.25 || p.SampleRows != 600 || !p.Refit || !p.RandomValSplit || p.Incremental {
+		t.Errorf("decoded params %+v", p)
+	}
+	// The decoded spec must produce a working space.
+	if _, err := p.Spec.Space(); err != nil {
+		t.Errorf("decoded spec invalid: %v", err)
+	}
+}
+
+func TestParamsFromConfigNeverEmpty(t *testing.T) {
+	cfg := CAMLSpace().Default()
+	for _, family := range pipeline.AllModels() {
+		cfg["sys.include."+family] = 0
+	}
+	p := ParamsFromConfig(cfg)
+	if len(p.Spec.Models) == 0 {
+		t.Error("all-excluded config produced an empty model list")
+	}
+	// Tiny sampling values mean "off".
+	cfg["sys.sampling"] = 50
+	if got := ParamsFromConfig(cfg).SampleRows; got != 0 {
+		t.Errorf("sampling 50 decoded to %d, want 0 (off)", got)
+	}
+}
+
+func TestOptimizeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimization loop is slow")
+	}
+	specs := openml.MetaTrainSuite()[:20]
+	res, err := Optimize(specs, Options{
+		Budget:         5 * time.Second,
+		TopK:           3,
+		Iterations:     6,
+		RunsPerDataset: 1,
+		Scale:          openml.SmallScale(),
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Representatives) != 3 {
+		t.Errorf("representatives %v", res.Representatives)
+	}
+	if res.DevKWh <= 0 {
+		t.Error("development consumed no energy — Fig. 7 depends on this being tracked")
+	}
+	if res.DevTime <= 0 {
+		t.Error("development consumed no virtual time")
+	}
+	if res.Trials+res.Pruned == 0 {
+		t.Error("no trials ran")
+	}
+	// The tuned parameters must construct a working system.
+	sys := automl.NewTunedCAML(res.Params)
+	if sys.Name() != "CAML(tuned)" {
+		t.Errorf("tuned system name %q", sys.Name())
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(nil, Options{}); err == nil {
+		t.Error("empty spec list accepted")
+	}
+}
+
+func TestAmortizationRuns(t *testing.T) {
+	r := &Result{DevKWh: 21}
+	// The paper's own numbers: 21 kWh amortize after 885 runs at a
+	// ~0.0237 kWh/run saving.
+	if got := r.AmortizationRuns(21.0 / 885); got != 885 {
+		t.Errorf("amortization %d runs, want 885", got)
+	}
+	if got := r.AmortizationRuns(0); got != math.MaxInt32 {
+		t.Errorf("zero saving amortization %d, want MaxInt32", got)
+	}
+	if got := r.AmortizationRuns(-1); got != math.MaxInt32 {
+		t.Errorf("negative saving amortization %d", got)
+	}
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Statistical comparison tools for benchmark studies: paired significance
+// testing and rank aggregation across datasets, the standard apparatus
+// for claims like "system A outperforms system B" over a dataset suite.
+
+// WilcoxonResult is the outcome of a Wilcoxon signed-rank test.
+type WilcoxonResult struct {
+	// W is the test statistic (the smaller of the signed rank sums).
+	W float64
+	// N is the number of non-zero-difference pairs used.
+	N int
+	// Z is the normal approximation of the statistic.
+	Z float64
+	// PValue is the two-sided p-value under the normal approximation
+	// (valid for N >= 10; smaller N reports a conservative 1.0).
+	PValue float64
+}
+
+// WilcoxonSignedRank runs the paired two-sided Wilcoxon signed-rank test
+// on per-dataset score pairs (a[i], b[i]). Ties (zero differences) are
+// dropped, tied absolute differences share average ranks.
+func WilcoxonSignedRank(a, b []float64) (WilcoxonResult, error) {
+	if len(a) != len(b) {
+		return WilcoxonResult{}, fmt.Errorf("metrics: paired samples of different length: %d vs %d", len(a), len(b))
+	}
+	type pair struct {
+		abs  float64
+		sign float64
+	}
+	var pairs []pair
+	for i := range a {
+		d := a[i] - b[i]
+		if d == 0 {
+			continue
+		}
+		s := 1.0
+		if d < 0 {
+			s = -1
+		}
+		pairs = append(pairs, pair{abs: math.Abs(d), sign: s})
+	}
+	n := len(pairs)
+	if n == 0 {
+		return WilcoxonResult{PValue: 1}, nil
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].abs < pairs[j].abs })
+
+	// Average ranks over ties.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && pairs[j].abs == pairs[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based: positions i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+
+	var wPlus, wMinus float64
+	for i, p := range pairs {
+		if p.sign > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	w := math.Min(wPlus, wMinus)
+	res := WilcoxonResult{W: w, N: n}
+	if n < 10 {
+		// Normal approximation unreliable; report conservatively.
+		res.PValue = 1
+		return res, nil
+	}
+	mean := float64(n*(n+1)) / 4
+	sd := math.Sqrt(float64(n*(n+1)*(2*n+1)) / 24)
+	res.Z = (w - mean) / sd
+	res.PValue = 2 * stdNormalCDF(res.Z)
+	if res.PValue > 1 {
+		res.PValue = 1
+	}
+	return res, nil
+}
+
+func stdNormalCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// MeanRanks computes each system's mean rank across datasets (rank 1 =
+// best score on the dataset; tied scores share average ranks) — the
+// Friedman-style aggregation benchmark papers report.
+// scores[dataset][system] holds one score per system per dataset; every
+// dataset must cover the same systems.
+func MeanRanks(scores []map[string]float64) (map[string]float64, error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("metrics: no datasets to rank over")
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for d, row := range scores {
+		if len(row) < 2 {
+			return nil, fmt.Errorf("metrics: dataset %d has %d systems, want >= 2", d, len(row))
+		}
+		type entry struct {
+			system string
+			score  float64
+		}
+		entries := make([]entry, 0, len(row))
+		for s, v := range row {
+			entries = append(entries, entry{s, v})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].score != entries[j].score {
+				return entries[i].score > entries[j].score // higher = better = lower rank
+			}
+			return entries[i].system < entries[j].system
+		})
+		for i := 0; i < len(entries); {
+			j := i
+			for j < len(entries) && entries[j].score == entries[i].score {
+				j++
+			}
+			avg := float64(i+j+1) / 2
+			for k := i; k < j; k++ {
+				sums[entries[k].system] += avg
+				counts[entries[k].system]++
+			}
+			i = j
+		}
+	}
+	out := make(map[string]float64, len(sums))
+	for s, sum := range sums {
+		out[s] = sum / float64(counts[s])
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestWilcoxonDetectsConsistentDifference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		base := rng.Float64()
+		a[i] = base + 0.1 + 0.01*rng.NormFloat64() // consistently better
+		b[i] = base
+	}
+	res, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.01 {
+		t.Errorf("p-value %v for a consistent 0.1 advantage over 30 datasets", res.PValue)
+	}
+	if res.N != 30 {
+		t.Errorf("N = %d, want 30", res.N)
+	}
+}
+
+func TestWilcoxonNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = a[i] + 0.2*rng.NormFloat64() // symmetric noise
+	}
+	res, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.05 {
+		t.Errorf("p-value %v flagged pure noise as significant", res.PValue)
+	}
+}
+
+func TestWilcoxonEdgeCases(t *testing.T) {
+	if _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// All ties: conservative p = 1.
+	res, err := WilcoxonSignedRank([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || res.PValue != 1 || res.N != 0 {
+		t.Errorf("all-tie result %+v, err %v", res, err)
+	}
+	// Small samples stay conservative.
+	res, _ = WilcoxonSignedRank([]float64{1, 2, 3}, []float64{0, 0, 0})
+	if res.PValue != 1 {
+		t.Errorf("small-sample p-value %v, want conservative 1", res.PValue)
+	}
+}
+
+func TestWilcoxonHandComputed(t *testing.T) {
+	// Differences: +1, -2, +3, +4, +5, ... 12 pairs with one negative.
+	a := make([]float64, 12)
+	b := make([]float64, 12)
+	for i := range a {
+		d := float64(i + 1)
+		if i == 1 {
+			d = -d
+		}
+		a[i] = d
+		b[i] = 0
+	}
+	res, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |d| are 1..12 distinct: negative pair has |d|=2 -> rank 2, so
+	// W- = 2, W+ = 78-2 = 76; W = 2.
+	if res.W != 2 {
+		t.Errorf("W = %v, want 2", res.W)
+	}
+	if res.PValue > 0.01 {
+		t.Errorf("p-value %v, want strongly significant", res.PValue)
+	}
+}
+
+func TestMeanRanks(t *testing.T) {
+	scores := []map[string]float64{
+		{"A": 0.9, "B": 0.8, "C": 0.7},
+		{"A": 0.6, "B": 0.9, "C": 0.5},
+		{"A": 0.9, "B": 0.9, "C": 0.1}, // A and B tie -> average rank 1.5
+	}
+	ranks, err := MeanRanks(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: ranks 1, 2, 1.5 -> 1.5; B: 2, 1, 1.5 -> 1.5; C: 3, 3, 3 -> 3.
+	if math.Abs(ranks["A"]-1.5) > 1e-9 || math.Abs(ranks["B"]-1.5) > 1e-9 {
+		t.Errorf("ranks %v", ranks)
+	}
+	if ranks["C"] != 3 {
+		t.Errorf("C rank %v, want 3", ranks["C"])
+	}
+	if _, err := MeanRanks(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := MeanRanks([]map[string]float64{{"A": 1}}); err == nil {
+		t.Error("single-system dataset accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/tabular"
+)
+
+// ForestParams configure random forests and extremely randomized trees.
+type ForestParams struct {
+	// Trees is the ensemble size.
+	Trees int
+	// Tree holds the per-tree parameters. A zero MaxFeatures defaults to
+	// sqrt(d)/d, the random-forest convention.
+	Tree TreeParams
+	// Bootstrap resamples the training set per tree (random forests do,
+	// extra-trees by convention do not).
+	Bootstrap bool
+	// ExtraTrees switches to random-threshold splitting.
+	ExtraTrees bool
+}
+
+func (p ForestParams) normalized(features int) ForestParams {
+	if p.Trees < 1 {
+		p.Trees = 10
+	}
+	if p.Tree.MaxFeatures <= 0 {
+		p.Tree.MaxFeatures = math.Sqrt(float64(features)) / float64(features)
+	}
+	p.Tree.RandomThreshold = p.ExtraTrees
+	return p
+}
+
+// ForestClassifier is a random forest (or extra-trees) classifier.
+type ForestClassifier struct {
+	Params  ForestParams
+	trees   []*TreeClassifier
+	classes int
+}
+
+// NewForestClassifier constructs a forest with the given parameters.
+func NewForestClassifier(p ForestParams) *ForestClassifier {
+	return &ForestClassifier{Params: p}
+}
+
+// Fit implements Classifier.
+func (f *ForestClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+	p := f.Params.normalized(ds.Features())
+	f.classes = ds.Classes
+	f.trees = make([]*TreeClassifier, 0, p.Trees)
+	var cost Cost
+	for i := 0; i < p.Trees; i++ {
+		tree := NewTreeClassifier(p.Tree)
+		data := ds
+		if p.Bootstrap {
+			data = ds.Bootstrap(rng)
+			cost.Generic += float64(ds.Rows())
+		}
+		c, err := tree.Fit(data, rng)
+		if err != nil {
+			return cost, fmt.Errorf("ml: forest tree %d: %w", i, err)
+		}
+		cost.Add(c)
+		f.trees = append(f.trees, tree)
+	}
+	return cost, nil
+}
+
+// PredictProba implements Classifier by averaging tree leaf distributions.
+func (f *ForestClassifier) PredictProba(x [][]float64) ([][]float64, Cost) {
+	if len(f.trees) == 0 {
+		return uniformProba(len(x), max(f.classes, 2)), Cost{}
+	}
+	var cost Cost
+	out := make([][]float64, len(x))
+	for i := range out {
+		out[i] = make([]float64, f.classes)
+	}
+	for _, tree := range f.trees {
+		proba, c := tree.PredictProba(x)
+		cost.Add(c)
+		for i, row := range proba {
+			for j, p := range row {
+				out[i][j] += p
+			}
+		}
+	}
+	inv := 1 / float64(len(f.trees))
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] *= inv
+		}
+	}
+	cost.Generic += float64(len(x) * f.classes * len(f.trees))
+	return out, cost
+}
+
+// Clone implements Classifier.
+func (f *ForestClassifier) Clone() Classifier { return NewForestClassifier(f.Params) }
+
+// Name implements Classifier.
+func (f *ForestClassifier) Name() string {
+	kind := "rf"
+	if f.Params.ExtraTrees {
+		kind = "xt"
+	}
+	trees := f.Params.Trees
+	if trees < 1 {
+		trees = 10
+	}
+	return fmt.Sprintf("%s(trees=%d,depth=%d)", kind, trees, f.Params.Tree.normalized().MaxDepth)
+}
+
+// ParallelFrac implements Classifier: tree fits are embarrassingly
+// parallel.
+func (f *ForestClassifier) ParallelFrac() float64 { return 0.9 }
+
+// TreeCount reports the number of fitted trees.
+func (f *ForestClassifier) TreeCount() int { return len(f.trees) }
+
+// ForestRegressor is a random-forest regressor. It additionally exposes the
+// across-tree prediction variance, which the Bayesian-optimization
+// surrogate needs for expected improvement.
+type ForestRegressor struct {
+	Params ForestParams
+	trees  []*TreeRegressor
+}
+
+// NewForestRegressor constructs a forest regressor.
+func NewForestRegressor(p ForestParams) *ForestRegressor {
+	return &ForestRegressor{Params: p}
+}
+
+// FitReg implements Regressor.
+func (f *ForestRegressor) FitReg(x [][]float64, y []float64, rng *rand.Rand) (Cost, error) {
+	if len(x) == 0 {
+		return Cost{}, fmt.Errorf("ml: forest regressor fit on empty data")
+	}
+	p := f.Params.normalized(len(x[0]))
+	f.trees = make([]*TreeRegressor, 0, p.Trees)
+	var cost Cost
+	for i := 0; i < p.Trees; i++ {
+		tree := NewTreeRegressor(p.Tree)
+		xs, ys := x, y
+		if p.Bootstrap {
+			xs = make([][]float64, len(x))
+			ys = make([]float64, len(y))
+			for j := range xs {
+				r := rng.IntN(len(x))
+				xs[j] = x[r]
+				ys[j] = y[r]
+			}
+			cost.Generic += float64(len(x))
+		}
+		c, err := tree.FitReg(xs, ys, rng)
+		if err != nil {
+			return cost, fmt.Errorf("ml: forest regressor tree %d: %w", i, err)
+		}
+		cost.Add(c)
+		f.trees = append(f.trees, tree)
+	}
+	return cost, nil
+}
+
+// PredictReg implements Regressor by averaging tree predictions.
+func (f *ForestRegressor) PredictReg(x [][]float64) ([]float64, Cost) {
+	mean, _, cost := f.PredictWithStd(x)
+	return mean, cost
+}
+
+// PredictWithStd returns the per-row mean and standard deviation of the
+// tree predictions.
+func (f *ForestRegressor) PredictWithStd(x [][]float64) (mean, std []float64, cost Cost) {
+	mean = make([]float64, len(x))
+	std = make([]float64, len(x))
+	if len(f.trees) == 0 {
+		return mean, std, cost
+	}
+	sums := make([]float64, len(x))
+	sumSqs := make([]float64, len(x))
+	for _, tree := range f.trees {
+		pred, c := tree.PredictReg(x)
+		cost.Add(c)
+		for i, v := range pred {
+			sums[i] += v
+			sumSqs[i] += v * v
+		}
+	}
+	n := float64(len(f.trees))
+	for i := range x {
+		m := sums[i] / n
+		mean[i] = m
+		variance := sumSqs[i]/n - m*m
+		if variance > 0 {
+			std[i] = math.Sqrt(variance)
+		}
+	}
+	cost.Generic += float64(len(x)) * n
+	return mean, std, cost
+}

@@ -1,0 +1,105 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/tabular"
+)
+
+// KNNParams configure k-nearest-neighbour classification.
+type KNNParams struct {
+	// K is the neighbourhood size.
+	K int
+	// DistanceWeighted weights votes by inverse distance.
+	DistanceWeighted bool
+}
+
+func (p KNNParams) normalized() KNNParams {
+	if p.K < 1 {
+		p.K = 5
+	}
+	return p
+}
+
+// KNN is a k-nearest-neighbour classifier. Fitting is (almost) free —
+// it memorizes the training set — while prediction scans all stored rows,
+// the cost profile that makes lazy learners expensive at inference.
+type KNN struct {
+	Params  KNNParams
+	x       [][]float64
+	y       []int
+	classes int
+}
+
+// NewKNN constructs a kNN classifier.
+func NewKNN(p KNNParams) *KNN {
+	return &KNN{Params: p}
+}
+
+// Fit implements Classifier.
+func (k *KNN) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
+	k.Params = k.Params.normalized()
+	k.x = ds.X
+	k.y = ds.Y
+	k.classes = ds.Classes
+	return Cost{Generic: float64(ds.Rows())}, nil
+}
+
+// PredictProba implements Classifier.
+func (k *KNN) PredictProba(x [][]float64) ([][]float64, Cost) {
+	if len(k.x) == 0 {
+		return uniformProba(len(x), max(k.classes, 2)), Cost{}
+	}
+	n := len(k.x)
+	d := len(k.x[0])
+	kk := k.Params.K
+	if kk > n {
+		kk = n
+	}
+	out := make([][]float64, len(x))
+	type cand struct {
+		dist  float64
+		label int
+	}
+	for i, row := range x {
+		cands := make([]cand, n)
+		for t, train := range k.x {
+			var dist float64
+			for j := range train {
+				diff := train[j] - row[j]
+				dist += diff * diff
+			}
+			cands[t] = cand{dist: dist, label: k.y[t]}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		votes := make([]float64, k.classes)
+		for _, c := range cands[:kk] {
+			w := 1.0
+			if k.Params.DistanceWeighted {
+				w = 1 / (1e-9 + c.dist)
+			}
+			votes[c.label] += w
+		}
+		normalizeInPlace(votes)
+		out[i] = votes
+	}
+	scanCost := float64(len(x)) * float64(n) * (3*float64(d) + 15)
+	return out, Cost{Generic: scanCost}
+}
+
+// Clone implements Classifier.
+func (k *KNN) Clone() Classifier { return NewKNN(k.Params) }
+
+// Name implements Classifier.
+func (k *KNN) Name() string {
+	return fmt.Sprintf("knn(k=%d)", k.Params.normalized().K)
+}
+
+// ParallelFrac implements Classifier: queries parallelize trivially, but
+// Fit (memorization) does not matter either way.
+func (k *KNN) ParallelFrac() float64 { return 0.8 }
+
+// StoredRows reports the memorized training-set size.
+func (k *KNN) StoredRows() int { return len(k.x) }

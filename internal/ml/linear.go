@@ -1,0 +1,218 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/tabular"
+)
+
+// LinearParams configure SGD-trained linear models.
+type LinearParams struct {
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// LearningRate is the initial SGD step size (decayed 1/sqrt(t)).
+	LearningRate float64
+	// L2 is the ridge regularization strength.
+	L2 float64
+}
+
+func (p LinearParams) normalized() LinearParams {
+	if p.Epochs < 1 {
+		p.Epochs = 20
+	}
+	if p.LearningRate <= 0 {
+		p.LearningRate = 0.1
+	}
+	if p.L2 < 0 {
+		p.L2 = 0
+	}
+	return p
+}
+
+// linearCore holds a fitted linear model: one weight row plus bias per
+// class.
+type linearCore struct {
+	weights [][]float64
+	bias    []float64
+}
+
+func (lc *linearCore) logits(row []float64, out []float64) {
+	for k := range lc.weights {
+		var dot float64
+		w := lc.weights[k]
+		for j, v := range row {
+			dot += w[j] * v
+		}
+		out[k] = dot + lc.bias[k]
+	}
+}
+
+// LogisticRegression is a multinomial logistic-regression classifier
+// trained with SGD.
+type LogisticRegression struct {
+	Params  LinearParams
+	core    linearCore
+	classes int
+}
+
+// NewLogisticRegression constructs a logistic-regression classifier.
+func NewLogisticRegression(p LinearParams) *LogisticRegression {
+	return &LogisticRegression{Params: p}
+}
+
+// Fit implements Classifier.
+func (lr *LogisticRegression) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+	p := lr.Params.normalized()
+	lr.Params = p
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	lr.classes = k
+	lr.core = newLinearCore(k, d)
+
+	proba := make([]float64, k)
+	step := 0
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		for _, i := range rng.Perm(n) {
+			step++
+			row := ds.X[i]
+			lr.core.logits(row, proba)
+			softmaxInPlace(proba)
+			eta := p.LearningRate / (1 + 0.01*float64(step))
+			for c := 0; c < k; c++ {
+				grad := proba[c]
+				if ds.Y[i] == c {
+					grad -= 1
+				}
+				w := lr.core.weights[c]
+				for j, v := range row {
+					w[j] -= eta * (grad*v + p.L2*w[j])
+				}
+				lr.core.bias[c] -= eta * grad
+			}
+		}
+	}
+	return Cost{Generic: float64(p.Epochs) * float64(n) * float64(d) * float64(k) * 4}, nil
+}
+
+// PredictProba implements Classifier.
+func (lr *LogisticRegression) PredictProba(x [][]float64) ([][]float64, Cost) {
+	if len(lr.core.weights) == 0 {
+		return uniformProba(len(x), max(lr.classes, 2)), Cost{}
+	}
+	out := make([][]float64, len(x))
+	d := 0
+	for i, row := range x {
+		d = len(row)
+		proba := make([]float64, lr.classes)
+		lr.core.logits(row, proba)
+		softmaxInPlace(proba)
+		out[i] = proba
+	}
+	return out, Cost{Generic: float64(len(x)) * float64(d) * float64(lr.classes) * 2}
+}
+
+// Clone implements Classifier.
+func (lr *LogisticRegression) Clone() Classifier { return NewLogisticRegression(lr.Params) }
+
+// Name implements Classifier.
+func (lr *LogisticRegression) Name() string {
+	p := lr.Params.normalized()
+	return fmt.Sprintf("logreg(epochs=%d,l2=%.2g)", p.Epochs, p.L2)
+}
+
+// ParallelFrac implements Classifier: SGD is inherently sequential.
+func (lr *LogisticRegression) ParallelFrac() float64 { return 0.1 }
+
+// LinearSVM is a one-vs-rest linear support-vector classifier trained with
+// hinge-loss SGD. Probabilities are a softmax over margins.
+type LinearSVM struct {
+	Params  LinearParams
+	core    linearCore
+	classes int
+}
+
+// NewLinearSVM constructs a linear SVM classifier.
+func NewLinearSVM(p LinearParams) *LinearSVM {
+	return &LinearSVM{Params: p}
+}
+
+// Fit implements Classifier.
+func (s *LinearSVM) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+	p := s.Params.normalized()
+	s.Params = p
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	s.classes = k
+	s.core = newLinearCore(k, d)
+
+	step := 0
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		for _, i := range rng.Perm(n) {
+			step++
+			row := ds.X[i]
+			eta := p.LearningRate / (1 + 0.01*float64(step))
+			for c := 0; c < k; c++ {
+				target := -1.0
+				if ds.Y[i] == c {
+					target = 1.0
+				}
+				w := s.core.weights[c]
+				var margin float64
+				for j, v := range row {
+					margin += w[j] * v
+				}
+				margin = target * (margin + s.core.bias[c])
+				if margin < 1 {
+					for j, v := range row {
+						w[j] -= eta * (-target*v + p.L2*w[j])
+					}
+					s.core.bias[c] += eta * target
+				} else if p.L2 > 0 {
+					for j := range w {
+						w[j] -= eta * p.L2 * w[j]
+					}
+				}
+			}
+		}
+	}
+	return Cost{Generic: float64(p.Epochs) * float64(n) * float64(d) * float64(k) * 3}, nil
+}
+
+// PredictProba implements Classifier.
+func (s *LinearSVM) PredictProba(x [][]float64) ([][]float64, Cost) {
+	if len(s.core.weights) == 0 {
+		return uniformProba(len(x), max(s.classes, 2)), Cost{}
+	}
+	out := make([][]float64, len(x))
+	d := 0
+	for i, row := range x {
+		d = len(row)
+		margins := make([]float64, s.classes)
+		s.core.logits(row, margins)
+		softmaxInPlace(margins)
+		out[i] = margins
+	}
+	return out, Cost{Generic: float64(len(x)) * float64(d) * float64(s.classes) * 2}
+}
+
+// Clone implements Classifier.
+func (s *LinearSVM) Clone() Classifier { return NewLinearSVM(s.Params) }
+
+// Name implements Classifier.
+func (s *LinearSVM) Name() string {
+	p := s.Params.normalized()
+	return fmt.Sprintf("svm(epochs=%d,l2=%.2g)", p.Epochs, p.L2)
+}
+
+// ParallelFrac implements Classifier.
+func (s *LinearSVM) ParallelFrac() float64 { return 0.1 }
+
+func newLinearCore(classes, features int) linearCore {
+	core := linearCore{
+		weights: make([][]float64, classes),
+		bias:    make([]float64, classes),
+	}
+	for k := range core.weights {
+		core.weights[k] = make([]float64, features)
+	}
+	return core
+}

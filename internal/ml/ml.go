@@ -1,0 +1,172 @@
+// Package ml is the model zoo underneath every AutoML system in this
+// repository.
+//
+// The paper's systems search over scikit-learn-style estimators; this
+// package re-implements the relevant families from scratch: CART decision
+// trees, random forests, extremely randomized trees, gradient boosting,
+// k-nearest neighbours, multinomial logistic regression, linear SVMs,
+// naive Bayes, and multi-layer perceptrons, plus regression trees and
+// forests (needed internally by gradient boosting and by the Bayesian
+// optimization surrogate).
+//
+// Every training and prediction call returns its compute cost as abstract
+// FLOPs bucketed by workload kind. Those costs drive the virtual clock and
+// the energy tracker — they are the reproduction's stand-in for wall-clock
+// and RAPL readings, so models must account costs honestly: cost is
+// accumulated inside the algorithms at loop granularity, not estimated
+// from closed-form formulas after the fact.
+package ml
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/hw"
+	"repro/internal/tabular"
+)
+
+// Cost is an abstract compute cost in FLOPs, bucketed by hardware workload
+// kind (see internal/hw).
+type Cost struct {
+	// Generic is scalar, branchy work (distances, SGD updates).
+	Generic float64
+	// Tree is tree induction/traversal work.
+	Tree float64
+	// Matrix is dense linear-algebra work (MLP, attention, PCA).
+	Matrix float64
+}
+
+// Add accumulates other into c.
+func (c *Cost) Add(other Cost) {
+	c.Generic += other.Generic
+	c.Tree += other.Tree
+	c.Matrix += other.Matrix
+}
+
+// Total reports the summed FLOPs across buckets.
+func (c Cost) Total() float64 { return c.Generic + c.Tree + c.Matrix }
+
+// Scale returns the cost multiplied by f.
+func (c Cost) Scale(f float64) Cost {
+	return Cost{Generic: c.Generic * f, Tree: c.Tree * f, Matrix: c.Matrix * f}
+}
+
+// Works converts the cost to hardware work units with the given Amdahl
+// parallel fraction applied to each bucket.
+func (c Cost) Works(parallelFrac float64) []hw.Work {
+	var works []hw.Work
+	if c.Generic > 0 {
+		works = append(works, hw.Work{FLOPs: c.Generic, Kind: hw.KindGeneric, ParallelFrac: parallelFrac})
+	}
+	if c.Tree > 0 {
+		works = append(works, hw.Work{FLOPs: c.Tree, Kind: hw.KindTree, ParallelFrac: parallelFrac})
+	}
+	if c.Matrix > 0 {
+		works = append(works, hw.Work{FLOPs: c.Matrix, Kind: hw.KindMatrix, ParallelFrac: parallelFrac})
+	}
+	return works
+}
+
+// Classifier is a trainable multi-class probabilistic classifier.
+type Classifier interface {
+	// Fit trains on the dataset and reports the training cost.
+	Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error)
+	// PredictProba returns one probability row per input row and the
+	// prediction cost. It must only be called after a successful Fit.
+	PredictProba(x [][]float64) ([][]float64, Cost)
+	// Clone returns a fresh, untrained classifier with identical
+	// hyperparameters.
+	Clone() Classifier
+	// Name identifies the model family and key hyperparameters.
+	Name() string
+	// ParallelFrac is the Amdahl fraction of Fit that can use multiple
+	// cores (e.g. forests parallelize across trees; SGD barely at all).
+	ParallelFrac() float64
+}
+
+// Regressor is a trainable single-output regressor (used by gradient
+// boosting and by the Bayesian-optimization surrogate).
+type Regressor interface {
+	// FitReg trains on rows x with targets y and reports the cost.
+	FitReg(x [][]float64, y []float64, rng *rand.Rand) (Cost, error)
+	// PredictReg returns one prediction per input row and the cost.
+	PredictReg(x [][]float64) ([]float64, Cost)
+}
+
+// Predict converts a classifier's probability output into hard labels.
+func Predict(c Classifier, x [][]float64) ([]int, Cost) {
+	proba, cost := c.PredictProba(x)
+	labels := make([]int, len(proba))
+	for i, row := range proba {
+		labels[i] = argmax(row)
+	}
+	return labels, cost
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// softmaxInPlace transforms logits into probabilities, numerically stably.
+func softmaxInPlace(v []float64) {
+	max := math.Inf(-1)
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		e := math.Exp(x - max)
+		v[i] = e
+		sum += e
+	}
+	if sum <= 0 {
+		uniform := 1 / float64(len(v))
+		for i := range v {
+			v[i] = uniform
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// normalizeInPlace scales non-negative v to sum to one, falling back to
+// uniform when the sum vanishes.
+func normalizeInPlace(v []float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		uniform := 1 / float64(len(v))
+		for i := range v {
+			v[i] = uniform
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// uniformProba returns n rows of uniform class probabilities.
+func uniformProba(n, classes int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, classes)
+		for j := range row {
+			row[j] = 1 / float64(classes)
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package ml
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/tabular"
+)
+
+// GaussianNB is a Gaussian naive-Bayes classifier: per class and feature a
+// univariate normal, combined under conditional independence. It is the
+// cheapest model in the zoo for both stages, which is why cost-frugal
+// searches start near it.
+type GaussianNB struct {
+	classes  int
+	logPrior []float64
+	mean     [][]float64 // [class][feature]
+	variance [][]float64
+}
+
+// NewGaussianNB constructs a Gaussian naive-Bayes classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Fit implements Classifier.
+func (g *GaussianNB) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	g.classes = k
+	g.logPrior = make([]float64, k)
+	g.mean = make([][]float64, k)
+	g.variance = make([][]float64, k)
+	counts := make([]float64, k)
+	for c := 0; c < k; c++ {
+		g.mean[c] = make([]float64, d)
+		g.variance[c] = make([]float64, d)
+	}
+	for i, row := range ds.X {
+		c := ds.Y[i]
+		counts[c]++
+		for j, v := range row {
+			g.mean[c][j] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		g.logPrior[c] = math.Log((counts[c] + 1) / (float64(n) + float64(k)))
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range g.mean[c] {
+			g.mean[c][j] /= counts[c]
+		}
+	}
+	for i, row := range ds.X {
+		c := ds.Y[i]
+		for j, v := range row {
+			diff := v - g.mean[c][j]
+			g.variance[c][j] += diff * diff
+		}
+	}
+	for c := 0; c < k; c++ {
+		for j := range g.variance[c] {
+			if counts[c] > 0 {
+				g.variance[c][j] /= counts[c]
+			}
+			if g.variance[c][j] < 1e-9 {
+				g.variance[c][j] = 1e-9
+			}
+		}
+	}
+	return Cost{Generic: float64(n) * float64(d) * 4}, nil
+}
+
+// PredictProba implements Classifier.
+func (g *GaussianNB) PredictProba(x [][]float64) ([][]float64, Cost) {
+	if g.mean == nil {
+		return uniformProba(len(x), max(g.classes, 2)), Cost{}
+	}
+	out := make([][]float64, len(x))
+	d := 0
+	for i, row := range x {
+		d = len(row)
+		logp := make([]float64, g.classes)
+		for c := 0; c < g.classes; c++ {
+			lp := g.logPrior[c]
+			for j, v := range row {
+				diff := v - g.mean[c][j]
+				lp -= 0.5*math.Log(2*math.Pi*g.variance[c][j]) + diff*diff/(2*g.variance[c][j])
+			}
+			logp[c] = lp
+		}
+		softmaxInPlace(logp)
+		out[i] = logp
+	}
+	return out, Cost{Generic: float64(len(x)) * float64(d) * float64(g.classes) * 5}
+}
+
+// Clone implements Classifier.
+func (g *GaussianNB) Clone() Classifier { return NewGaussianNB() }
+
+// Name implements Classifier.
+func (g *GaussianNB) Name() string { return "gaussian_nb" }
+
+// ParallelFrac implements Classifier.
+func (g *GaussianNB) ParallelFrac() float64 { return 0.5 }
+
+// BernoulliNB is a Bernoulli naive-Bayes classifier over features binarized
+// at their training means — the natural fit for one-hot and low-cardinality
+// categorical inputs.
+type BernoulliNB struct {
+	// Alpha is the Laplace smoothing constant; 0 defaults to 1.
+	Alpha      float64
+	classes    int
+	logPrior   []float64
+	thresholds []float64
+	logP       [][]float64 // log P(x_j=1 | class)
+	logQ       [][]float64 // log P(x_j=0 | class)
+}
+
+// NewBernoulliNB constructs a Bernoulli naive-Bayes classifier.
+func NewBernoulliNB(alpha float64) *BernoulliNB { return &BernoulliNB{Alpha: alpha} }
+
+// Fit implements Classifier.
+func (b *BernoulliNB) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
+	alpha := b.Alpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	b.classes = k
+	b.thresholds = make([]float64, d)
+	for j := 0; j < d; j++ {
+		var sum float64
+		for _, row := range ds.X {
+			sum += row[j]
+		}
+		b.thresholds[j] = sum / float64(n)
+	}
+	counts := make([]float64, k)
+	ones := make([][]float64, k)
+	for c := range ones {
+		ones[c] = make([]float64, d)
+	}
+	for i, row := range ds.X {
+		c := ds.Y[i]
+		counts[c]++
+		for j, v := range row {
+			if v > b.thresholds[j] {
+				ones[c][j]++
+			}
+		}
+	}
+	b.logPrior = make([]float64, k)
+	b.logP = make([][]float64, k)
+	b.logQ = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		b.logPrior[c] = math.Log((counts[c] + 1) / (float64(n) + float64(k)))
+		b.logP[c] = make([]float64, d)
+		b.logQ[c] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			p := (ones[c][j] + alpha) / (counts[c] + 2*alpha)
+			b.logP[c][j] = math.Log(p)
+			b.logQ[c][j] = math.Log(1 - p)
+		}
+	}
+	return Cost{Generic: float64(n) * float64(d) * 3}, nil
+}
+
+// PredictProba implements Classifier.
+func (b *BernoulliNB) PredictProba(x [][]float64) ([][]float64, Cost) {
+	if b.logP == nil {
+		return uniformProba(len(x), max(b.classes, 2)), Cost{}
+	}
+	out := make([][]float64, len(x))
+	d := len(b.thresholds)
+	for i, row := range x {
+		logp := make([]float64, b.classes)
+		for c := 0; c < b.classes; c++ {
+			lp := b.logPrior[c]
+			for j, v := range row {
+				if j >= d {
+					break
+				}
+				if v > b.thresholds[j] {
+					lp += b.logP[c][j]
+				} else {
+					lp += b.logQ[c][j]
+				}
+			}
+			logp[c] = lp
+		}
+		softmaxInPlace(logp)
+		out[i] = logp
+	}
+	return out, Cost{Generic: float64(len(x)) * float64(d) * float64(b.classes) * 2}
+}
+
+// Clone implements Classifier.
+func (b *BernoulliNB) Clone() Classifier { return NewBernoulliNB(b.Alpha) }
+
+// Name implements Classifier.
+func (b *BernoulliNB) Name() string { return "bernoulli_nb" }
+
+// ParallelFrac implements Classifier.
+func (b *BernoulliNB) ParallelFrac() float64 { return 0.5 }

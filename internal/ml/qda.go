@@ -1,0 +1,199 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/tabular"
+)
+
+// QDA is quadratic discriminant analysis with diagonal-regularized
+// per-class covariance: each class gets a full Gaussian (mean + covariance)
+// and prediction follows the quadratic log-likelihood. It sits between
+// GaussianNB (diagonal covariance) and the tree ensembles in both capacity
+// and cost, and its fit cost is cubic in the feature count — a genuinely
+// different cost profile for the search spaces.
+type QDA struct {
+	// Reg is the ridge added to covariance diagonals (default 1e-3).
+	Reg float64
+
+	classes  int
+	logPrior []float64
+	means    [][]float64
+	invCovs  [][][]float64 // per class, inverse covariance
+	logDets  []float64
+	dim      int
+}
+
+// NewQDA constructs a QDA classifier.
+func NewQDA(reg float64) *QDA { return &QDA{Reg: reg} }
+
+// Fit implements Classifier.
+func (q *QDA) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
+	reg := q.Reg
+	if reg <= 0 {
+		reg = 1e-3
+	}
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	if d > 64 {
+		return Cost{}, fmt.Errorf("ml: qda limited to 64 features, got %d (use feature selection first)", d)
+	}
+	q.classes, q.dim = k, d
+	q.logPrior = make([]float64, k)
+	q.means = make([][]float64, k)
+	q.invCovs = make([][][]float64, k)
+	q.logDets = make([]float64, k)
+
+	byClass := make([][]int, k)
+	for i, y := range ds.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	var cost Cost
+	for c := 0; c < k; c++ {
+		members := byClass[c]
+		q.logPrior[c] = math.Log((float64(len(members)) + 1) / (float64(n) + float64(k)))
+		mean := make([]float64, d)
+		for _, i := range members {
+			for j, v := range ds.X[i] {
+				mean[j] += v
+			}
+		}
+		if len(members) > 0 {
+			for j := range mean {
+				mean[j] /= float64(len(members))
+			}
+		}
+		q.means[c] = mean
+
+		cov := make([][]float64, d)
+		for a := range cov {
+			cov[a] = make([]float64, d)
+		}
+		for _, i := range members {
+			row := ds.X[i]
+			for a := 0; a < d; a++ {
+				da := row[a] - mean[a]
+				for b := a; b < d; b++ {
+					cov[a][b] += da * (row[b] - mean[b])
+				}
+			}
+		}
+		denom := math.Max(float64(len(members)-1), 1)
+		for a := 0; a < d; a++ {
+			for b := a; b < d; b++ {
+				cov[a][b] /= denom
+				cov[b][a] = cov[a][b]
+			}
+			cov[a][a] += reg
+		}
+		inv, logDet, err := invertSPD(cov)
+		if err != nil {
+			return cost, fmt.Errorf("ml: qda class %d: %w", c, err)
+		}
+		q.invCovs[c] = inv
+		q.logDets[c] = logDet
+		cost.Matrix += float64(len(members))*float64(d)*float64(d) + float64(d*d*d)
+	}
+	return cost, nil
+}
+
+// invertSPD inverts a symmetric positive-definite matrix via Cholesky
+// decomposition, returning the inverse and the log-determinant.
+func invertSPD(m [][]float64) ([][]float64, float64, error) {
+	d := len(m)
+	// Cholesky: m = L L^T.
+	l := make([][]float64, d)
+	for i := range l {
+		l[i] = make([]float64, d)
+	}
+	logDet := 0.0
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m[i][j]
+			for t := 0; t < j; t++ {
+				sum -= l[i][t] * l[j][t]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, 0, fmt.Errorf("matrix not positive definite at %d", i)
+				}
+				l[i][i] = math.Sqrt(sum)
+				logDet += 2 * math.Log(l[i][i])
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	// Invert L (lower triangular), then inv = L^-T L^-1.
+	linv := make([][]float64, d)
+	for i := range linv {
+		linv[i] = make([]float64, d)
+		linv[i][i] = 1 / l[i][i]
+		for j := 0; j < i; j++ {
+			var sum float64
+			for t := j; t < i; t++ {
+				sum -= l[i][t] * linv[t][j]
+			}
+			linv[i][j] = sum / l[i][i]
+		}
+	}
+	inv := make([][]float64, d)
+	for i := range inv {
+		inv[i] = make([]float64, d)
+		for j := 0; j <= i; j++ {
+			var sum float64
+			for t := i; t < d; t++ {
+				sum += linv[t][i] * linv[t][j]
+			}
+			inv[i][j] = sum
+			inv[j][i] = sum
+		}
+	}
+	return inv, logDet, nil
+}
+
+// PredictProba implements Classifier.
+func (q *QDA) PredictProba(x [][]float64) ([][]float64, Cost) {
+	if q.means == nil {
+		return uniformProba(len(x), max(q.classes, 2)), Cost{}
+	}
+	d := q.dim
+	out := make([][]float64, len(x))
+	diff := make([]float64, d)
+	for i, row := range x {
+		logp := make([]float64, q.classes)
+		for c := 0; c < q.classes; c++ {
+			for j := 0; j < d; j++ {
+				v := 0.0
+				if j < len(row) {
+					v = row[j]
+				}
+				diff[j] = v - q.means[c][j]
+			}
+			// Mahalanobis distance diff^T invCov diff.
+			var quad float64
+			inv := q.invCovs[c]
+			for a := 0; a < d; a++ {
+				var sum float64
+				for b := 0; b < d; b++ {
+					sum += inv[a][b] * diff[b]
+				}
+				quad += diff[a] * sum
+			}
+			logp[c] = q.logPrior[c] - 0.5*(quad+q.logDets[c])
+		}
+		softmaxInPlace(logp)
+		out[i] = logp
+	}
+	return out, Cost{Matrix: float64(len(x)) * float64(q.classes) * float64(d*d) * 2}
+}
+
+// Clone implements Classifier.
+func (q *QDA) Clone() Classifier { return NewQDA(q.Reg) }
+
+// Name implements Classifier.
+func (q *QDA) Name() string { return fmt.Sprintf("qda(reg=%.2g)", math.Max(q.Reg, 1e-3)) }
+
+// ParallelFrac implements Classifier.
+func (q *QDA) ParallelFrac() float64 { return 0.5 }

@@ -1,0 +1,496 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/tabular"
+)
+
+// Criterion selects the impurity measure for classification trees.
+type Criterion int
+
+const (
+	// Gini impurity (CART default).
+	Gini Criterion = iota
+	// Entropy (information gain).
+	Entropy
+)
+
+// TreeParams are the shared hyperparameters of all tree learners.
+type TreeParams struct {
+	// MaxDepth limits tree depth; 0 means unlimited (hard cap 32).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum number of samples per leaf.
+	MinSamplesLeaf int
+	// MinSamplesSplit is the minimum number of samples to attempt a
+	// split.
+	MinSamplesSplit int
+	// MaxFeatures is the fraction of features tried per split in (0,1];
+	// 0 means all features.
+	MaxFeatures float64
+	// RandomThreshold enables extremely-randomized splitting: one
+	// uniform random threshold per tried feature instead of an exhaustive
+	// scan.
+	RandomThreshold bool
+	// Criterion selects the impurity measure (classification only).
+	Criterion Criterion
+}
+
+func (p TreeParams) normalized() TreeParams {
+	if p.MaxDepth <= 0 || p.MaxDepth > 32 {
+		p.MaxDepth = 32
+	}
+	if p.MinSamplesLeaf < 1 {
+		p.MinSamplesLeaf = 1
+	}
+	if p.MinSamplesSplit < 2 {
+		p.MinSamplesSplit = 2
+	}
+	if p.MaxFeatures <= 0 || p.MaxFeatures > 1 {
+		p.MaxFeatures = 1
+	}
+	return p
+}
+
+// treeNode is one node of a fitted tree. Leaves have feature == -1.
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right int32
+	proba       []float64 // classification leaf distribution
+	value       float64   // regression leaf value
+	depth       int
+}
+
+// treeCore is the shared CART engine for classification and regression.
+type treeCore struct {
+	params  TreeParams
+	classes int // 0 for regression
+	nodes   []treeNode
+	cost    Cost
+}
+
+type treeTask struct {
+	x [][]float64
+	y []int     // classification labels
+	t []float64 // regression targets
+}
+
+func (tc *treeCore) fit(task treeTask, rng *rand.Rand) error {
+	p := tc.params.normalized()
+	tc.params = p
+	n := len(task.x)
+	if n == 0 {
+		return errors.New("ml: tree fit on empty data")
+	}
+	d := len(task.x[0])
+	if d == 0 {
+		return errors.New("ml: tree fit with zero features")
+	}
+	tc.nodes = tc.nodes[:0]
+	tc.cost = Cost{}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	tc.build(task, idx, 0, rng)
+	return nil
+}
+
+// build grows the subtree for the given sample indices and returns the node
+// index.
+func (tc *treeCore) build(task treeTask, idx []int, depth int, rng *rand.Rand) int32 {
+	m := len(idx)
+	p := tc.params
+
+	node := treeNode{feature: -1, depth: depth}
+	pure := false
+	if tc.classes > 0 {
+		counts := make([]float64, tc.classes)
+		for _, i := range idx {
+			counts[task.y[i]]++
+		}
+		nonzero := 0
+		for _, c := range counts {
+			if c > 0 {
+				nonzero++
+			}
+		}
+		pure = nonzero <= 1
+		for i := range counts {
+			counts[i] /= float64(m)
+		}
+		node.proba = counts
+	} else {
+		var sum float64
+		for _, i := range idx {
+			sum += task.t[i]
+		}
+		node.value = sum / float64(m)
+		pure = m <= 1
+	}
+	tc.cost.Tree += float64(m)
+
+	if pure || depth >= p.MaxDepth || m < p.MinSamplesSplit || m < 2*p.MinSamplesLeaf {
+		return tc.push(node)
+	}
+
+	feature, threshold, ok := tc.findSplit(task, idx, rng)
+	if !ok {
+		return tc.push(node)
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if task.x[i][feature] <= threshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	tc.cost.Tree += float64(m)
+	if len(leftIdx) < p.MinSamplesLeaf || len(rightIdx) < p.MinSamplesLeaf {
+		return tc.push(node)
+	}
+
+	node.feature = feature
+	node.threshold = threshold
+	self := tc.push(node)
+	left := tc.build(task, leftIdx, depth+1, rng)
+	right := tc.build(task, rightIdx, depth+1, rng)
+	tc.nodes[self].left = left
+	tc.nodes[self].right = right
+	return self
+}
+
+func (tc *treeCore) push(n treeNode) int32 {
+	tc.nodes = append(tc.nodes, n)
+	return int32(len(tc.nodes) - 1)
+}
+
+// findSplit searches for the best (feature, threshold) over a random subset
+// of features.
+func (tc *treeCore) findSplit(task treeTask, idx []int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
+	d := len(task.x[0])
+	tryCount := int(math.Ceil(tc.params.MaxFeatures * float64(d)))
+	if tryCount < 1 {
+		tryCount = 1
+	}
+	if tryCount > d {
+		tryCount = d
+	}
+	var features []int
+	if tryCount == d {
+		features = make([]int, d)
+		for j := range features {
+			features[j] = j
+		}
+	} else {
+		features = rng.Perm(d)[:tryCount]
+	}
+
+	bestGain := 0.0
+	ok = false
+	for _, f := range features {
+		var gain, thr float64
+		var found bool
+		if tc.params.RandomThreshold {
+			gain, thr, found = tc.evalRandomThreshold(task, idx, f, rng)
+			tc.cost.Tree += 3 * float64(len(idx))
+		} else {
+			gain, thr, found = tc.evalExhaustive(task, idx, f)
+			m := float64(len(idx))
+			tc.cost.Tree += m * (math.Log2(m+2) + float64(max(tc.classes, 1)))
+		}
+		if found && gain > bestGain {
+			bestGain, threshold, feature, ok = gain, thr, f, true
+		}
+	}
+	return feature, threshold, ok
+}
+
+// evalExhaustive sorts the samples by feature f and scans every split
+// point, returning the best impurity decrease.
+func (tc *treeCore) evalExhaustive(task treeTask, idx []int, f int) (gain, threshold float64, ok bool) {
+	m := len(idx)
+	order := append([]int(nil), idx...)
+	sort.Slice(order, func(a, b int) bool { return task.x[order[a]][f] < task.x[order[b]][f] })
+
+	if tc.classes > 0 {
+		left := make([]float64, tc.classes)
+		right := make([]float64, tc.classes)
+		for _, i := range order {
+			right[task.y[i]]++
+		}
+		parent := tc.impurity(right, float64(m))
+		bestGain := 0.0
+		var bestThr float64
+		found := false
+		for pos := 1; pos < m; pos++ {
+			c := task.y[order[pos-1]]
+			left[c]++
+			right[c]--
+			v0, v1 := task.x[order[pos-1]][f], task.x[order[pos]][f]
+			if v0 == v1 {
+				continue
+			}
+			nl, nr := float64(pos), float64(m-pos)
+			g := parent - (nl*tc.impurity(left, nl)+nr*tc.impurity(right, nr))/float64(m)
+			if g > bestGain {
+				bestGain = g
+				bestThr = (v0 + v1) / 2
+				found = true
+			}
+		}
+		return bestGain, bestThr, found
+	}
+
+	// Regression: incremental sums for MSE decrease.
+	var sumR, sumSqR float64
+	for _, i := range order {
+		t := task.t[i]
+		sumR += t
+		sumSqR += t * t
+	}
+	totalVar := sumSqR - sumR*sumR/float64(m)
+	var sumL, sumSqL float64
+	bestGain := 0.0
+	var bestThr float64
+	found := false
+	for pos := 1; pos < m; pos++ {
+		t := task.t[order[pos-1]]
+		sumL += t
+		sumSqL += t * t
+		sumRpos := sumR - sumL
+		sumSqRpos := sumSqR - sumSqL
+		v0, v1 := task.x[order[pos-1]][f], task.x[order[pos]][f]
+		if v0 == v1 {
+			continue
+		}
+		nl, nr := float64(pos), float64(m-pos)
+		sseL := sumSqL - sumL*sumL/nl
+		sseR := sumSqRpos - sumRpos*sumRpos/nr
+		g := totalVar - sseL - sseR
+		if g > bestGain {
+			bestGain = g
+			bestThr = (v0 + v1) / 2
+			found = true
+		}
+	}
+	return bestGain, bestThr, found
+}
+
+// evalRandomThreshold draws a uniform threshold between the column's min
+// and max (extra-trees style) and scores that single split.
+func (tc *treeCore) evalRandomThreshold(task treeTask, idx []int, f int, rng *rand.Rand) (gain, threshold float64, ok bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		v := task.x[i][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		return 0, 0, false
+	}
+	thr := lo + rng.Float64()*(hi-lo)
+	m := float64(len(idx))
+
+	if tc.classes > 0 {
+		left := make([]float64, tc.classes)
+		right := make([]float64, tc.classes)
+		var nl float64
+		for _, i := range idx {
+			if task.x[i][f] <= thr {
+				left[task.y[i]]++
+				nl++
+			} else {
+				right[task.y[i]]++
+			}
+		}
+		nr := m - nl
+		if nl == 0 || nr == 0 {
+			return 0, 0, false
+		}
+		all := make([]float64, tc.classes)
+		for c := range all {
+			all[c] = left[c] + right[c]
+		}
+		g := tc.impurity(all, m) - (nl*tc.impurity(left, nl)+nr*tc.impurity(right, nr))/m
+		return g, thr, g > 0
+	}
+
+	var sumL, sumSqL, sumR, sumSqR, nl float64
+	for _, i := range idx {
+		t := task.t[i]
+		if task.x[i][f] <= thr {
+			sumL += t
+			sumSqL += t * t
+			nl++
+		} else {
+			sumR += t
+			sumSqR += t * t
+		}
+	}
+	nr := m - nl
+	if nl == 0 || nr == 0 {
+		return 0, 0, false
+	}
+	total := sumSqL + sumSqR - (sumL+sumR)*(sumL+sumR)/m
+	sseL := sumSqL - sumL*sumL/nl
+	sseR := sumSqR - sumR*sumR/nr
+	g := total - sseL - sseR
+	return g, thr, g > 0
+}
+
+// impurity computes Gini or entropy from class counts summing to total.
+func (tc *treeCore) impurity(counts []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	if tc.params.Criterion == Entropy {
+		var h float64
+		for _, c := range counts {
+			if c > 0 {
+				p := c / total
+				h -= p * math.Log2(p)
+			}
+		}
+		return h
+	}
+	var sumSq float64
+	for _, c := range counts {
+		p := c / total
+		sumSq += p * p
+	}
+	return 1 - sumSq
+}
+
+// traverse walks a row to its leaf and returns the leaf node plus the
+// traversal cost in node visits.
+func (tc *treeCore) traverse(row []float64) (*treeNode, float64) {
+	if len(tc.nodes) == 0 {
+		return nil, 0
+	}
+	cur := int32(0)
+	visits := 1.0
+	for {
+		n := &tc.nodes[cur]
+		if n.feature < 0 {
+			return n, visits
+		}
+		if row[n.feature] <= n.threshold {
+			cur = n.left
+		} else {
+			cur = n.right
+		}
+		visits++
+	}
+}
+
+// NodeCount reports the number of nodes in the fitted tree.
+func (tc *treeCore) NodeCount() int { return len(tc.nodes) }
+
+// TreeClassifier is a CART decision-tree classifier.
+type TreeClassifier struct {
+	Params TreeParams
+	core   treeCore
+	fitted bool
+}
+
+// NewTreeClassifier constructs a tree classifier with the given parameters.
+func NewTreeClassifier(p TreeParams) *TreeClassifier {
+	return &TreeClassifier{Params: p}
+}
+
+// Fit implements Classifier.
+func (t *TreeClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+	t.core = treeCore{params: t.Params, classes: ds.Classes}
+	if err := t.core.fit(treeTask{x: ds.X, y: ds.Y}, rng); err != nil {
+		return Cost{}, err
+	}
+	t.fitted = true
+	return t.core.cost, nil
+}
+
+// PredictProba implements Classifier.
+func (t *TreeClassifier) PredictProba(x [][]float64) ([][]float64, Cost) {
+	if !t.fitted {
+		return uniformProba(len(x), max(t.core.classes, 2)), Cost{}
+	}
+	out := make([][]float64, len(x))
+	var visits float64
+	for i, row := range x {
+		leaf, v := t.core.traverse(row)
+		visits += v
+		out[i] = leaf.proba
+	}
+	return out, Cost{Tree: 2 * visits}
+}
+
+// Clone implements Classifier.
+func (t *TreeClassifier) Clone() Classifier { return NewTreeClassifier(t.Params) }
+
+// Name implements Classifier.
+func (t *TreeClassifier) Name() string {
+	p := t.Params.normalized()
+	return fmt.Sprintf("tree(depth=%d,leaf=%d)", p.MaxDepth, p.MinSamplesLeaf)
+}
+
+// ParallelFrac implements Classifier: a single tree fit is largely
+// sequential.
+func (t *TreeClassifier) ParallelFrac() float64 { return 0.3 }
+
+// NodeCount reports the number of nodes in the fitted tree.
+func (t *TreeClassifier) NodeCount() int { return t.core.NodeCount() }
+
+// TreeRegressor is a CART regression tree.
+type TreeRegressor struct {
+	Params TreeParams
+	core   treeCore
+	fitted bool
+}
+
+// NewTreeRegressor constructs a regression tree with the given parameters.
+func NewTreeRegressor(p TreeParams) *TreeRegressor {
+	return &TreeRegressor{Params: p}
+}
+
+// FitReg implements Regressor.
+func (t *TreeRegressor) FitReg(x [][]float64, y []float64, rng *rand.Rand) (Cost, error) {
+	if len(x) != len(y) {
+		return Cost{}, fmt.Errorf("ml: regression tree: %d rows but %d targets", len(x), len(y))
+	}
+	t.core = treeCore{params: t.Params}
+	if err := t.core.fit(treeTask{x: x, t: y}, rng); err != nil {
+		return Cost{}, err
+	}
+	t.fitted = true
+	return t.core.cost, nil
+}
+
+// PredictReg implements Regressor.
+func (t *TreeRegressor) PredictReg(x [][]float64) ([]float64, Cost) {
+	out := make([]float64, len(x))
+	if !t.fitted {
+		return out, Cost{}
+	}
+	var visits float64
+	for i, row := range x {
+		leaf, v := t.core.traverse(row)
+		visits += v
+		out[i] = leaf.value
+	}
+	return out, Cost{Tree: 2 * visits}
+}
+
+// NodeCount reports the number of nodes in the fitted tree.
+func (t *TreeRegressor) NodeCount() int { return t.core.NodeCount() }

@@ -1,0 +1,250 @@
+package openml
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/tabular"
+)
+
+// ScaleProfile controls how published dataset sizes map to generated sizes.
+// The defaults keep the full experiment grid laptop-sized while preserving
+// the suite's relative ordering by rows, features and classes.
+type ScaleProfile struct {
+	// RowExponent scales rows as rows^RowExponent.
+	RowExponent float64
+	// MinRows and MaxRows clamp the scaled row count.
+	MinRows, MaxRows int
+	// FeatureExponent scales features as features^FeatureExponent.
+	FeatureExponent float64
+	// MinFeatures and MaxFeatures clamp the scaled feature count.
+	MinFeatures, MaxFeatures int
+	// MaxClasses caps the scaled class count. Classes above 12 are
+	// compressed (12 + sqrt(excess)) before capping so that many-class
+	// tasks like dionis (355 classes) stay many-class without drowning
+	// the row budget.
+	MaxClasses int
+}
+
+// DefaultScale returns the profile used by the benchmark harness.
+func DefaultScale() ScaleProfile {
+	return ScaleProfile{
+		RowExponent: 0.58, MinRows: 100, MaxRows: 1600,
+		FeatureExponent: 0.72, MinFeatures: 4, MaxFeatures: 60,
+		MaxClasses: 30,
+	}
+}
+
+// SmallScale returns a reduced profile for unit tests and quick smoke runs.
+func SmallScale() ScaleProfile {
+	return ScaleProfile{
+		RowExponent: 0.45, MinRows: 80, MaxRows: 400,
+		FeatureExponent: 0.55, MinFeatures: 3, MaxFeatures: 24,
+		MaxClasses: 12,
+	}
+}
+
+// Apply returns the scaled (rows, features, classes) for a spec.
+func (p ScaleProfile) Apply(s Spec) (rows, features, classes int) {
+	rows = clampInt(int(math.Round(math.Pow(float64(s.Rows), p.RowExponent))), p.MinRows, p.MaxRows)
+	features = clampInt(int(math.Round(math.Pow(float64(s.Features), p.FeatureExponent))), p.MinFeatures, p.MaxFeatures)
+	classes = s.Classes
+	if classes > 12 {
+		classes = 12 + int(math.Round(math.Sqrt(float64(classes-12))))
+	}
+	if classes > p.MaxClasses {
+		classes = p.MaxClasses
+	}
+	if classes < 2 {
+		classes = 2
+	}
+	// Guarantee enough rows for stratified splitting and per-class
+	// evaluation.
+	if min := 18 * classes; rows < min {
+		rows = min
+	}
+	return rows, features, classes
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Generate materializes the dataset described by spec under the given scale
+// profile. Generation is fully deterministic in (spec.ID, seed).
+//
+// The generator produces a Gaussian-mixture classification task: each class
+// owns ClustersPerClass latent clusters (multiple clusters make classes
+// non-convex, which separates tree ensembles from linear models exactly as
+// real tabular benchmarks do); observed features are a random linear
+// projection of the latent point plus noise; a fraction of features carries
+// no signal; a fraction is discretized into categorical codes; a fraction
+// of labels is flipped.
+func Generate(spec Spec, profile ScaleProfile, seed uint64) *tabular.Dataset {
+	deriveKnobs(&spec)
+	rows, features, classes := profile.Apply(spec)
+	rng := rand.New(rand.NewPCG(uint64(spec.ID)*0x9E3779B9, seed))
+
+	latentDim := int(math.Round(float64(features) * (1 - spec.IrrelevantFrac)))
+	if latentDim > 12 {
+		latentDim = 12
+	}
+	if latentDim < 2 {
+		latentDim = 2
+	}
+	informative := int(math.Round(float64(features) * (1 - spec.IrrelevantFrac)))
+	if informative < 2 {
+		informative = min(2, features)
+	}
+	if informative > features {
+		informative = features
+	}
+
+	// Class priors: geometric skew controlled by Imbalance.
+	priors := make([]float64, classes)
+	ratio := 1 - spec.Imbalance
+	if ratio < 0.05 {
+		ratio = 0.05
+	}
+	total := 0.0
+	for k := range priors {
+		priors[k] = math.Pow(ratio, float64(k))
+		total += priors[k]
+	}
+	for k := range priors {
+		priors[k] /= total
+	}
+
+	// Cluster centers per class.
+	centers := make([][][]float64, classes)
+	for k := range centers {
+		centers[k] = make([][]float64, spec.ClustersPerClass)
+		for c := range centers[k] {
+			center := make([]float64, latentDim)
+			for l := range center {
+				center[l] = spec.Separation * rng.NormFloat64()
+			}
+			centers[k][c] = center
+		}
+	}
+
+	// Projection matrix latent -> informative features.
+	w := make([][]float64, informative)
+	scale := 1 / math.Sqrt(float64(latentDim))
+	for j := range w {
+		w[j] = make([]float64, latentDim)
+		for l := range w[j] {
+			w[j][l] = scale * rng.NormFloat64()
+		}
+	}
+
+	x := make([][]float64, rows)
+	y := make([]int, rows)
+	latent := make([]float64, latentDim)
+	for i := 0; i < rows; i++ {
+		k := sampleClass(priors, rng)
+		// Guarantee every class appears at least once by round-robin
+		// seeding the first `classes` rows.
+		if i < classes {
+			k = i
+		}
+		y[i] = k
+		center := centers[k][rng.IntN(len(centers[k]))]
+		for l := range latent {
+			latent[l] = center[l] + rng.NormFloat64()
+		}
+		row := make([]float64, features)
+		for j := 0; j < informative; j++ {
+			var dot float64
+			for l := range latent {
+				dot += w[j][l] * latent[l]
+			}
+			row[j] = dot + spec.Noise*rng.NormFloat64()
+		}
+		for j := informative; j < features; j++ {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+	}
+
+	// Label noise.
+	flips := int(float64(rows) * spec.LabelNoise)
+	for f := 0; f < flips; f++ {
+		y[rng.IntN(rows)] = rng.IntN(classes)
+	}
+
+	ds := &tabular.Dataset{Name: spec.Name, X: x, Y: y, Classes: classes}
+
+	// Discretize a spread-out subset of columns into categorical codes.
+	nCat := int(math.Round(spec.CategoricalFrac * float64(features)))
+	if nCat > 0 {
+		ds.Kinds = make([]tabular.FeatureKind, features)
+		converted := 0
+		for j := 0; j < features && converted < nCat; j++ {
+			// Spread conversions over informative and irrelevant
+			// columns alike.
+			if (j*2654435761)%features < nCat {
+				cardinality := 2 + rng.IntN(7)
+				discretizeColumn(ds, j, cardinality)
+				ds.Kinds[j] = tabular.Categorical
+				converted++
+			}
+		}
+	}
+	return ds
+}
+
+// discretizeColumn replaces column j with quantile-bin codes in
+// [0, cardinality).
+func discretizeColumn(ds *tabular.Dataset, j, cardinality int) {
+	col := ds.Column(j)
+	sorted := append([]float64(nil), col...)
+	sort.Float64s(sorted)
+	thresholds := make([]float64, cardinality-1)
+	for b := 1; b < cardinality; b++ {
+		pos := b * len(sorted) / cardinality
+		if pos >= len(sorted) {
+			pos = len(sorted) - 1
+		}
+		thresholds[b-1] = sorted[pos]
+	}
+	for i := range ds.X {
+		code := 0
+		v := ds.X[i][j]
+		for _, t := range thresholds {
+			if v > t {
+				code++
+			}
+		}
+		ds.X[i][j] = float64(code)
+	}
+}
+
+func sampleClass(priors []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for k, p := range priors {
+		acc += p
+		if u < acc {
+			return k
+		}
+	}
+	return len(priors) - 1
+}
+
+// LoadSuite generates the full 39-dataset test suite.
+func LoadSuite(profile ScaleProfile, seed uint64) []*tabular.Dataset {
+	specs := Suite()
+	out := make([]*tabular.Dataset, len(specs))
+	for i, s := range specs {
+		out[i] = Generate(s, profile, seed)
+	}
+	return out
+}

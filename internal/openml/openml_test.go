@@ -1,0 +1,247 @@
+package openml
+
+import (
+	"math"
+	mathrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tabular"
+)
+
+func TestSuiteMatchesTable2(t *testing.T) {
+	specs := Suite()
+	if len(specs) != 39 {
+		t.Fatalf("suite has %d datasets, want 39 (paper Table 2)", len(specs))
+	}
+	// Spot-check the published signatures.
+	checks := map[string]struct{ id, rows, features, classes int }{
+		"robert":                           {41165, 10000, 7200, 10},
+		"Fashion-MNIST":                    {40996, 70000, 784, 10},
+		"dionis":                           {41167, 416188, 60, 355},
+		"covertype":                        {1596, 581012, 54, 7},
+		"credit-g":                         {31, 1000, 20, 2},
+		"blood-transfusion-service-center": {1464, 748, 4, 2},
+	}
+	byName := map[string]Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	for name, want := range checks {
+		s, ok := byName[name]
+		if !ok {
+			t.Errorf("dataset %s missing", name)
+			continue
+		}
+		if s.ID != want.id || s.Rows != want.rows || s.Features != want.features || s.Classes != want.classes {
+			t.Errorf("%s = id %d n %d d %d k %d, want %+v", name, s.ID, s.Rows, s.Features, s.Classes, want)
+		}
+	}
+	// IDs must be unique.
+	ids := map[int]string{}
+	for _, s := range specs {
+		if other, dup := ids[s.ID]; dup {
+			t.Errorf("ID %d shared by %s and %s", s.ID, s.Name, other)
+		}
+		ids[s.ID] = s.Name
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("adult")
+	if !ok || s.ID != 1590 {
+		t.Fatalf("ByName(adult) = %+v, %v", s, ok)
+	}
+	if s.Separation == 0 || s.Noise == 0 {
+		t.Error("knobs not derived")
+	}
+	if _, ok := ByName("no-such-dataset"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestMetaTrainSuite(t *testing.T) {
+	specs := MetaTrainSuite()
+	if len(specs) != 124 {
+		t.Fatalf("meta-train suite has %d datasets, want 124 (paper §3.7)", len(specs))
+	}
+	minRows, maxRows := math.MaxInt, 0
+	for _, s := range specs {
+		if s.Classes != 2 {
+			t.Errorf("%s has %d classes, want binary", s.Name, s.Classes)
+		}
+		if s.Rows < minRows {
+			minRows = s.Rows
+		}
+		if s.Rows > maxRows {
+			maxRows = s.Rows
+		}
+	}
+	if maxRows < 50*minRows {
+		t.Errorf("meta-train sizes span only %d..%d — want a wide spectrum", minRows, maxRows)
+	}
+}
+
+func TestScaleProfiles(t *testing.T) {
+	p := DefaultScale()
+	spec, _ := ByName("covertype") // 581012 rows: must clamp
+	rows, features, classes := p.Apply(spec)
+	if rows != p.MaxRows {
+		t.Errorf("covertype rows %d, want clamp to %d", rows, p.MaxRows)
+	}
+	if features < p.MinFeatures || features > p.MaxFeatures {
+		t.Errorf("features %d outside [%d,%d]", features, p.MinFeatures, p.MaxFeatures)
+	}
+	if classes != 7 {
+		t.Errorf("covertype classes %d, want 7 (below compression threshold)", classes)
+	}
+	// Many-class compression: dionis has 355 classes.
+	spec, _ = ByName("dionis")
+	_, _, classes = p.Apply(spec)
+	if classes <= 12 || classes > p.MaxClasses {
+		t.Errorf("dionis scaled classes %d, want in (12,%d]", classes, p.MaxClasses)
+	}
+	// Row floor guarantees stratified splits.
+	rows, _, classes = p.Apply(Spec{ID: 1, Rows: 10, Features: 3, Classes: 8})
+	if rows < 18*classes {
+		t.Errorf("row floor violated: %d rows for %d classes", rows, classes)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	spec, _ := ByName("credit-g")
+	a := Generate(spec, SmallScale(), 7)
+	b := Generate(spec, SmallScale(), 7)
+	if a.Rows() != b.Rows() {
+		t.Fatal("row counts differ across identical generations")
+	}
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatalf("cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+	c := Generate(spec, SmallScale(), 8)
+	same := true
+	for i := range a.X {
+		if a.Y[i] != c.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical labels")
+	}
+}
+
+func TestGenerateValidity(t *testing.T) {
+	for _, spec := range Suite() {
+		ds := Generate(spec, SmallScale(), 1)
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+			continue
+		}
+		counts := ds.ClassCounts()
+		for c, n := range counts {
+			if n == 0 {
+				t.Errorf("%s: class %d absent", spec.Name, c)
+			}
+		}
+	}
+}
+
+func TestGenerateCategoricalColumns(t *testing.T) {
+	spec, _ := ByName("car") // fully categorical in Table 2
+	ds := Generate(spec, SmallScale(), 3)
+	if ds.NumCategorical() == 0 {
+		t.Fatal("car generated without categorical columns")
+	}
+	for j := 0; j < ds.Features(); j++ {
+		if ds.Kind(j) != tabular.Categorical {
+			continue
+		}
+		seen := map[float64]bool{}
+		for _, row := range ds.X {
+			v := row[j]
+			if v != math.Trunc(v) || v < 0 {
+				t.Fatalf("categorical cell %v is not a non-negative integer code", v)
+			}
+			seen[v] = true
+		}
+		if len(seen) < 2 || len(seen) > 8 {
+			t.Errorf("column %d has %d distinct codes, want 2..8", j, len(seen))
+		}
+	}
+}
+
+func TestGenerateImbalance(t *testing.T) {
+	spec, _ := ByName("KDDCup09_appetency") // imbalance 0.9
+	ds := Generate(spec, DefaultScale(), 2)
+	counts := ds.ClassCounts()
+	minority := math.Min(float64(counts[0]), float64(counts[1]))
+	frac := minority / float64(ds.Rows())
+	if frac > 0.2 {
+		t.Errorf("KDDCup09 minority fraction %.3f, want heavy skew (< 0.2)", frac)
+	}
+	balancedSpec, _ := ByName("segment")
+	bal := Generate(balancedSpec, DefaultScale(), 2)
+	balCounts := bal.ClassCounts()
+	lo, hi := math.Inf(1), 0.0
+	for _, c := range balCounts {
+		lo = math.Min(lo, float64(c))
+		hi = math.Max(hi, float64(c))
+	}
+	if lo/hi < 0.4 {
+		t.Errorf("segment class ratio %.2f, want roughly balanced", lo/hi)
+	}
+}
+
+// TestScaleMonotone property-checks that scaling preserves the suite's
+// relative size ordering.
+func TestScaleMonotone(t *testing.T) {
+	p := DefaultScale()
+	property := func(a, b uint32) bool {
+		ra, rb := int(a%1_000_000)+20, int(b%1_000_000)+20
+		sa := Spec{ID: 1, Rows: ra, Features: 10, Classes: 2}
+		sb := Spec{ID: 2, Rows: rb, Features: 10, Classes: 2}
+		rowsA, _, _ := p.Apply(sa)
+		rowsB, _, _ := p.Apply(sb)
+		if ra <= rb {
+			return rowsA <= rowsB
+		}
+		return rowsA >= rowsB
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200, Rand: mathrand.New(mathrand.NewSource(77))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveKnobsHighDimensionalIrrelevance(t *testing.T) {
+	wide, _ := ByName("robert") // 7200 features
+	narrow, _ := ByName("phoneme")
+	if wide.IrrelevantFrac <= narrow.IrrelevantFrac {
+		t.Errorf("wide dataset irrelevance %.2f not above narrow %.2f (FLAML's pruning should pay off there)",
+			wide.IrrelevantFrac, narrow.IrrelevantFrac)
+	}
+}
+
+func TestLoadSuite(t *testing.T) {
+	suite := LoadSuite(SmallScale(), 5)
+	if len(suite) != 39 {
+		t.Fatalf("loaded %d datasets, want 39", len(suite))
+	}
+	names := map[string]bool{}
+	for _, ds := range suite {
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", ds.Name, err)
+		}
+		if names[ds.Name] {
+			t.Errorf("duplicate dataset %s", ds.Name)
+		}
+		names[ds.Name] = true
+	}
+}

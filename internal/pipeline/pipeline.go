@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/ml"
+	"repro/internal/preprocess"
+	"repro/internal/tabular"
+)
+
+// Pipeline is a sequence of preprocessors followed by one classifier — the
+// unit every AutoML system in this repository searches for, trains and
+// ships.
+type Pipeline struct {
+	// Pre holds the ordered preprocessors (data preprocessors first,
+	// feature preprocessors after, matching paper Fig. 1).
+	Pre []preprocess.Transformer
+	// Model is the final classifier.
+	Model ml.Classifier
+	// ModelFamily is the registry name of the model family.
+	ModelFamily string
+	fitted      bool
+}
+
+// Fit trains the preprocessors and the model on ds and returns the total
+// training cost.
+func (p *Pipeline) Fit(ds *tabular.Dataset, rng *rand.Rand) (ml.Cost, error) {
+	if p.Model == nil {
+		return ml.Cost{}, fmt.Errorf("pipeline: nil model")
+	}
+	var cost ml.Cost
+	cur := ds
+	for _, t := range p.Pre {
+		next, c, err := t.FitTransform(cur, rng)
+		cost.Add(c)
+		if err != nil {
+			return cost, fmt.Errorf("pipeline: %s: %w", t.Name(), err)
+		}
+		cur = next
+	}
+	c, err := p.Model.Fit(cur, rng)
+	cost.Add(c)
+	if err != nil {
+		return cost, fmt.Errorf("pipeline: %s: %w", p.Model.Name(), err)
+	}
+	p.fitted = true
+	return cost, nil
+}
+
+// PredictProba transforms raw rows through the fitted preprocessors and
+// returns the model's probability rows plus the total inference cost.
+func (p *Pipeline) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
+	var cost ml.Cost
+	cur := x
+	for _, t := range p.Pre {
+		next, c := t.Transform(cur)
+		cost.Add(c)
+		cur = next
+	}
+	proba, c := p.Model.PredictProba(cur)
+	cost.Add(c)
+	return proba, cost
+}
+
+// Predict returns hard labels.
+func (p *Pipeline) Predict(x [][]float64) ([]int, ml.Cost) {
+	proba, cost := p.PredictProba(x)
+	labels := make([]int, len(proba))
+	for i, row := range proba {
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		labels[i] = best
+	}
+	return labels, cost
+}
+
+// Fitted reports whether Fit has completed successfully.
+func (p *Pipeline) Fitted() bool { return p.fitted }
+
+// ParallelFrac reports the Amdahl parallel fraction of fitting the
+// pipeline, dominated by the model.
+func (p *Pipeline) ParallelFrac() float64 {
+	if p.Model == nil {
+		return 0
+	}
+	return p.Model.ParallelFrac()
+}
+
+// Name renders a human-readable pipeline description.
+func (p *Pipeline) Name() string {
+	var parts []string
+	for _, t := range p.Pre {
+		parts = append(parts, t.Name())
+	}
+	if p.Model != nil {
+		parts = append(parts, p.Model.Name())
+	}
+	return strings.Join(parts, " -> ")
+}

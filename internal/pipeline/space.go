@@ -1,0 +1,308 @@
+// Package pipeline composes preprocessors and models into ML pipelines and
+// describes the hyperparameter configuration spaces AutoML systems search.
+//
+// It is the reproduction's equivalent of scikit-learn's Pipeline plus a
+// small ConfigSpace: a Space is an ordered list of typed parameters
+// (float, int, bool, choice), a Config assigns each a value, and a
+// SpaceSpec declares which model families and preprocessor groups a given
+// AutoML system exposes (paper Table 1: ASKL searches data/feature
+// preprocessors and models, CAML omits feature preprocessors, FLAML
+// searches models only).
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// ParamKind is the type of a hyperparameter.
+type ParamKind int
+
+const (
+	// Float is a continuous parameter in [Min, Max].
+	Float ParamKind = iota
+	// Int is an integer parameter in [Min, Max].
+	Int
+	// Bool is a binary flag.
+	Bool
+	// Choice is a categorical parameter over Choices.
+	Choice
+)
+
+// Param describes one hyperparameter.
+type Param struct {
+	// Name is the unique, dot-prefixed parameter name (e.g. "rf.trees").
+	Name string
+	// Kind is the parameter type.
+	Kind ParamKind
+	// Min and Max bound Float and Int parameters.
+	Min, Max float64
+	// Log samples Float/Int parameters log-uniformly.
+	Log bool
+	// Choices lists the options of a Choice parameter.
+	Choices []string
+	// Default is the value used when a config does not set the
+	// parameter.
+	Default float64
+}
+
+// Space is an ordered set of parameters.
+type Space struct {
+	Params []Param
+	index  map[string]int
+}
+
+// NewSpace builds a space from parameters, indexing them by name.
+func NewSpace(params ...Param) *Space {
+	s := &Space{Params: params, index: make(map[string]int, len(params))}
+	for i, p := range params {
+		s.index[p.Name] = i
+	}
+	return s
+}
+
+// Lookup returns the parameter with the given name.
+func (s *Space) Lookup(name string) (Param, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return Param{}, false
+	}
+	return s.Params[i], true
+}
+
+// Config assigns a raw float value to each parameter name. Ints are stored
+// rounded, bools as 0/1, choices as the option index.
+type Config map[string]float64
+
+// Clone copies the config.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Float reads a float parameter, falling back to def when unset.
+func (c Config) Float(name string, def float64) float64 {
+	if v, ok := c[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Int reads an integer parameter.
+func (c Config) Int(name string, def int) int {
+	if v, ok := c[name]; ok {
+		return int(math.Round(v))
+	}
+	return def
+}
+
+// Bool reads a boolean parameter.
+func (c Config) Bool(name string, def bool) bool {
+	if v, ok := c[name]; ok {
+		return v >= 0.5
+	}
+	return def
+}
+
+// Choice reads a categorical parameter and returns the selected option,
+// clamping out-of-range indices.
+func (c Config) Choice(name string, choices []string, def string) string {
+	v, ok := c[name]
+	if !ok || len(choices) == 0 {
+		return def
+	}
+	i := int(math.Round(v))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(choices) {
+		i = len(choices) - 1
+	}
+	return choices[i]
+}
+
+// Key renders the config as a canonical string for deduplication.
+func (c Config) Key() string {
+	names := make([]string, 0, len(c))
+	for k := range c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, k := range names {
+		out += fmt.Sprintf("%s=%.6g;", k, c[k])
+	}
+	return out
+}
+
+// Sample draws a uniform random configuration from the space.
+func (s *Space) Sample(rng *rand.Rand) Config {
+	cfg := make(Config, len(s.Params))
+	for _, p := range s.Params {
+		cfg[p.Name] = sampleParam(p, rng)
+	}
+	return cfg
+}
+
+func sampleParam(p Param, rng *rand.Rand) float64 {
+	switch p.Kind {
+	case Float:
+		return sampleRange(p, rng)
+	case Int:
+		return math.Round(sampleRange(p, rng))
+	case Bool:
+		return float64(rng.IntN(2))
+	case Choice:
+		if len(p.Choices) == 0 {
+			return 0
+		}
+		return float64(rng.IntN(len(p.Choices)))
+	default:
+		return p.Default
+	}
+}
+
+func sampleRange(p Param, rng *rand.Rand) float64 {
+	if p.Max <= p.Min {
+		return p.Min
+	}
+	if p.Log && p.Min > 0 {
+		lo, hi := math.Log(p.Min), math.Log(p.Max)
+		return math.Exp(lo + rng.Float64()*(hi-lo))
+	}
+	return p.Min + rng.Float64()*(p.Max-p.Min)
+}
+
+// Default returns the configuration of all default values.
+func (s *Space) Default() Config {
+	cfg := make(Config, len(s.Params))
+	for _, p := range s.Params {
+		cfg[p.Name] = p.Default
+	}
+	return cfg
+}
+
+// Vector encodes a config as a fixed-length normalized feature vector for
+// surrogate models: floats/ints map to [0,1] (log-scaled where declared),
+// bools to {0,1}, choices to their normalized index.
+func (s *Space) Vector(cfg Config) []float64 {
+	vec := make([]float64, len(s.Params))
+	for i, p := range s.Params {
+		v, ok := cfg[p.Name]
+		if !ok {
+			v = p.Default
+		}
+		switch p.Kind {
+		case Float, Int:
+			if p.Max <= p.Min {
+				vec[i] = 0
+			} else if p.Log && p.Min > 0 {
+				vec[i] = (math.Log(clampF(v, p.Min, p.Max)) - math.Log(p.Min)) / (math.Log(p.Max) - math.Log(p.Min))
+			} else {
+				vec[i] = (clampF(v, p.Min, p.Max) - p.Min) / (p.Max - p.Min)
+			}
+		case Bool:
+			if v >= 0.5 {
+				vec[i] = 1
+			}
+		case Choice:
+			if len(p.Choices) > 1 {
+				vec[i] = clampF(v, 0, float64(len(p.Choices)-1)) / float64(len(p.Choices)-1)
+			}
+		}
+	}
+	return vec
+}
+
+// Mutate returns a copy of cfg with roughly `strength` fraction of
+// parameters resampled locally (Gaussian perturbation for numeric, uniform
+// redraw for categorical). At least one parameter always changes.
+func (s *Space) Mutate(cfg Config, strength float64, rng *rand.Rand) Config {
+	out := cfg.Clone()
+	changed := false
+	for _, p := range s.Params {
+		if rng.Float64() > strength {
+			continue
+		}
+		v := perturbParam(p, out[p.Name], rng)
+		if v != out[p.Name] {
+			changed = true
+		}
+		out[p.Name] = v
+	}
+	// Guarantee a real change: categorical/boolean perturbations can
+	// re-draw the current value, so retry until one parameter differs.
+	for attempts := 0; !changed && len(s.Params) > 0 && attempts < 32; attempts++ {
+		p := s.Params[rng.IntN(len(s.Params))]
+		v := perturbParam(p, out[p.Name], rng)
+		if v != out[p.Name] {
+			out[p.Name] = v
+			changed = true
+		}
+	}
+	return out
+}
+
+func perturbParam(p Param, cur float64, rng *rand.Rand) float64 {
+	switch p.Kind {
+	case Float, Int:
+		if p.Max <= p.Min {
+			return p.Min
+		}
+		var v float64
+		if p.Log && p.Min > 0 {
+			span := math.Log(p.Max) - math.Log(p.Min)
+			v = math.Exp(math.Log(clampF(cur, p.Min, p.Max)) + 0.2*span*rng.NormFloat64())
+		} else {
+			span := p.Max - p.Min
+			v = cur + 0.2*span*rng.NormFloat64()
+		}
+		v = clampF(v, p.Min, p.Max)
+		if p.Kind == Int {
+			v = math.Round(v)
+		}
+		return v
+	case Bool:
+		return float64(rng.IntN(2))
+	case Choice:
+		if len(p.Choices) == 0 {
+			return 0
+		}
+		return float64(rng.IntN(len(p.Choices)))
+	default:
+		return cur
+	}
+}
+
+// Crossover combines two configs parameter-wise (uniform crossover), as
+// used by the genetic-programming search.
+func (s *Space) Crossover(a, b Config, rng *rand.Rand) Config {
+	out := make(Config, len(s.Params))
+	for _, p := range s.Params {
+		src := a
+		if rng.IntN(2) == 1 {
+			src = b
+		}
+		if v, ok := src[p.Name]; ok {
+			out[p.Name] = v
+		} else {
+			out[p.Name] = p.Default
+		}
+	}
+	return out
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

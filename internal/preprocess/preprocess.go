@@ -1,0 +1,642 @@
+// Package preprocess implements the data and feature preprocessors the
+// AutoML search spaces contain.
+//
+// The paper's systems (Table 1) search over scikit-learn-style data
+// preprocessors (imputation, scaling, encoding) and feature preprocessors
+// (selection, projection). Transformers here follow the fit/transform
+// contract: FitTransform learns statistics on training data and returns the
+// transformed copy; Transform applies the learned statistics to new rows
+// (validation/test), never re-fitting — the split hygiene the paper's
+// systems rely on. Like the models, every operation reports its FLOP cost.
+package preprocess
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/ml"
+	"repro/internal/tabular"
+)
+
+// Transformer is a fitted-statistics feature transformer.
+type Transformer interface {
+	// FitTransform learns from ds and returns the transformed dataset
+	// (always all-numeric) plus the compute cost.
+	FitTransform(ds *tabular.Dataset, rng *rand.Rand) (*tabular.Dataset, ml.Cost, error)
+	// Transform applies learned statistics to raw rows.
+	Transform(x [][]float64) ([][]float64, ml.Cost)
+	// Name identifies the transformer.
+	Name() string
+}
+
+// numericDataset wraps transformed rows into an all-numeric dataset sharing
+// labels with the source.
+func numericDataset(src *tabular.Dataset, x [][]float64) *tabular.Dataset {
+	return &tabular.Dataset{Name: src.Name, X: x, Y: src.Y, Classes: src.Classes}
+}
+
+// Identity passes data through unchanged (the "no preprocessor" choice in
+// a search space).
+type Identity struct{}
+
+// FitTransform implements Transformer.
+func (Identity) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	return numericDataset(ds, ds.X), ml.Cost{}, nil
+}
+
+// Transform implements Transformer.
+func (Identity) Transform(x [][]float64) ([][]float64, ml.Cost) { return x, ml.Cost{} }
+
+// Name implements Transformer.
+func (Identity) Name() string { return "identity" }
+
+// Imputer replaces NaN cells with the column mean (or median) learned on
+// the training data.
+type Imputer struct {
+	// Median selects median imputation instead of mean.
+	Median bool
+	fill   []float64
+}
+
+// FitTransform implements Transformer.
+func (im *Imputer) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	d := ds.Features()
+	im.fill = make([]float64, d)
+	for j := 0; j < d; j++ {
+		var values []float64
+		for _, row := range ds.X {
+			if !math.IsNaN(row[j]) {
+				values = append(values, row[j])
+			}
+		}
+		if len(values) == 0 {
+			im.fill[j] = 0
+			continue
+		}
+		if im.Median {
+			sort.Float64s(values)
+			im.fill[j] = values[len(values)/2]
+		} else {
+			var sum float64
+			for _, v := range values {
+				sum += v
+			}
+			im.fill[j] = sum / float64(len(values))
+		}
+	}
+	out, cost := im.Transform(ds.X)
+	cost.Generic += float64(ds.Rows() * d)
+	return numericDataset(ds, out), cost, nil
+}
+
+// Transform implements Transformer.
+func (im *Imputer) Transform(x [][]float64) ([][]float64, ml.Cost) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		copied := append([]float64(nil), row...)
+		for j := range copied {
+			if j < len(im.fill) && math.IsNaN(copied[j]) {
+				copied[j] = im.fill[j]
+			}
+		}
+		out[i] = copied
+	}
+	var d int
+	if len(x) > 0 {
+		d = len(x[0])
+	}
+	return out, ml.Cost{Generic: float64(len(x) * d)}
+}
+
+// Name implements Transformer.
+func (im *Imputer) Name() string {
+	if im.Median {
+		return "imputer(median)"
+	}
+	return "imputer(mean)"
+}
+
+// StandardScaler standardizes numeric columns to zero mean and unit
+// variance. Categorical code columns are scaled too; encoders should run
+// first when that matters.
+type StandardScaler struct {
+	mean, std []float64
+}
+
+// FitTransform implements Transformer.
+func (s *StandardScaler) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	n, d := ds.Rows(), ds.Features()
+	s.mean = make([]float64, d)
+	s.std = make([]float64, d)
+	for _, row := range ds.X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= float64(n)
+	}
+	for _, row := range ds.X {
+		for j, v := range row {
+			diff := v - s.mean[j]
+			s.std[j] += diff * diff
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / float64(n))
+		if s.std[j] < 1e-9 {
+			s.std[j] = 1
+		}
+	}
+	out, cost := s.Transform(ds.X)
+	cost.Generic += float64(2 * n * d)
+	return numericDataset(ds, out), cost, nil
+}
+
+// Transform implements Transformer.
+func (s *StandardScaler) Transform(x [][]float64) ([][]float64, ml.Cost) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		scaled := make([]float64, len(row))
+		for j, v := range row {
+			if j < len(s.mean) {
+				scaled[j] = (v - s.mean[j]) / s.std[j]
+			} else {
+				scaled[j] = v
+			}
+		}
+		out[i] = scaled
+	}
+	var d int
+	if len(x) > 0 {
+		d = len(x[0])
+	}
+	return out, ml.Cost{Generic: float64(2 * len(x) * d)}
+}
+
+// Name implements Transformer.
+func (s *StandardScaler) Name() string { return "standard_scaler" }
+
+// MinMaxScaler rescales each column to [0, 1] using training min/max.
+type MinMaxScaler struct {
+	min, span []float64
+}
+
+// FitTransform implements Transformer.
+func (s *MinMaxScaler) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	n, d := ds.Rows(), ds.Features()
+	s.min = make([]float64, d)
+	s.span = make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range ds.X {
+			if row[j] < lo {
+				lo = row[j]
+			}
+			if row[j] > hi {
+				hi = row[j]
+			}
+		}
+		s.min[j] = lo
+		s.span[j] = hi - lo
+		if s.span[j] < 1e-12 {
+			s.span[j] = 1
+		}
+	}
+	out, cost := s.Transform(ds.X)
+	cost.Generic += float64(n * d)
+	return numericDataset(ds, out), cost, nil
+}
+
+// Transform implements Transformer.
+func (s *MinMaxScaler) Transform(x [][]float64) ([][]float64, ml.Cost) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		scaled := make([]float64, len(row))
+		for j, v := range row {
+			if j < len(s.min) {
+				scaled[j] = (v - s.min[j]) / s.span[j]
+			} else {
+				scaled[j] = v
+			}
+		}
+		out[i] = scaled
+	}
+	var d int
+	if len(x) > 0 {
+		d = len(x[0])
+	}
+	return out, ml.Cost{Generic: float64(2 * len(x) * d)}
+}
+
+// Name implements Transformer.
+func (s *MinMaxScaler) Name() string { return "minmax_scaler" }
+
+// RobustScaler centers by the median and scales by the interquartile range,
+// learned on training data.
+type RobustScaler struct {
+	center, scale []float64
+}
+
+// FitTransform implements Transformer.
+func (s *RobustScaler) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	n, d := ds.Rows(), ds.Features()
+	s.center = make([]float64, d)
+	s.scale = make([]float64, d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i, row := range ds.X {
+			col[i] = row[j]
+		}
+		sort.Float64s(col)
+		s.center[j] = col[n/2]
+		iqr := col[(3*n)/4] - col[n/4]
+		if iqr < 1e-12 {
+			iqr = 1
+		}
+		s.scale[j] = iqr
+	}
+	out, cost := s.Transform(ds.X)
+	cost.Generic += float64(n*d) * math.Log2(float64(n)+2)
+	return numericDataset(ds, out), cost, nil
+}
+
+// Transform implements Transformer.
+func (s *RobustScaler) Transform(x [][]float64) ([][]float64, ml.Cost) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		scaled := make([]float64, len(row))
+		for j, v := range row {
+			if j < len(s.center) {
+				scaled[j] = (v - s.center[j]) / s.scale[j]
+			} else {
+				scaled[j] = v
+			}
+		}
+		out[i] = scaled
+	}
+	var d int
+	if len(x) > 0 {
+		d = len(x[0])
+	}
+	return out, ml.Cost{Generic: float64(2 * len(x) * d)}
+}
+
+// Name implements Transformer.
+func (s *RobustScaler) Name() string { return "robust_scaler" }
+
+// OneHotEncoder expands categorical columns into indicator columns; numeric
+// columns pass through. Categories unseen at fit time map to all-zeros.
+type OneHotEncoder struct {
+	// MaxCategories caps the expansion per column (0 means 16); columns
+	// above the cap are passed through as ordinal codes.
+	MaxCategories int
+	catCols       []int
+	categories    [][]float64 // sorted distinct codes per encoded column
+	inputWidth    int
+}
+
+// FitTransform implements Transformer.
+func (e *OneHotEncoder) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	cap := e.MaxCategories
+	if cap <= 0 {
+		cap = 16
+	}
+	e.inputWidth = ds.Features()
+	e.catCols = e.catCols[:0]
+	e.categories = e.categories[:0]
+	for j := 0; j < ds.Features(); j++ {
+		if ds.Kind(j) != tabular.Categorical {
+			continue
+		}
+		seen := map[float64]bool{}
+		for _, row := range ds.X {
+			seen[row[j]] = true
+		}
+		if len(seen) > cap {
+			continue
+		}
+		cats := make([]float64, 0, len(seen))
+		for v := range seen {
+			cats = append(cats, v)
+		}
+		sort.Float64s(cats)
+		e.catCols = append(e.catCols, j)
+		e.categories = append(e.categories, cats)
+	}
+	out, cost := e.Transform(ds.X)
+	cost.Generic += float64(ds.Rows() * ds.Features())
+	return numericDataset(ds, out), cost, nil
+}
+
+// Transform implements Transformer.
+func (e *OneHotEncoder) Transform(x [][]float64) ([][]float64, ml.Cost) {
+	isCat := make(map[int]int, len(e.catCols)) // column -> index into categories
+	for idx, j := range e.catCols {
+		isCat[j] = idx
+	}
+	out := make([][]float64, len(x))
+	width := 0
+	for i, row := range x {
+		var expanded []float64
+		for j, v := range row {
+			if idx, ok := isCat[j]; ok && j < e.inputWidth {
+				cats := e.categories[idx]
+				indicators := make([]float64, len(cats))
+				pos := sort.SearchFloat64s(cats, v)
+				if pos < len(cats) && cats[pos] == v {
+					indicators[pos] = 1
+				}
+				expanded = append(expanded, indicators...)
+			} else {
+				expanded = append(expanded, v)
+			}
+		}
+		out[i] = expanded
+		width = len(expanded)
+	}
+	return out, ml.Cost{Generic: float64(len(x) * (width + 4))}
+}
+
+// Name implements Transformer.
+func (e *OneHotEncoder) Name() string { return "one_hot" }
+
+// VarianceThreshold drops columns whose training variance falls below the
+// threshold.
+type VarianceThreshold struct {
+	// Threshold is the minimum variance to keep a column.
+	Threshold float64
+	keep      []int
+	width     int
+}
+
+// FitTransform implements Transformer.
+func (v *VarianceThreshold) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	n, d := ds.Rows(), ds.Features()
+	v.width = d
+	v.keep = v.keep[:0]
+	for j := 0; j < d; j++ {
+		var sum, sumSq float64
+		for _, row := range ds.X {
+			sum += row[j]
+			sumSq += row[j] * row[j]
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		if variance > v.Threshold {
+			v.keep = append(v.keep, j)
+		}
+	}
+	if len(v.keep) == 0 {
+		// Keep at least one column so downstream models stay valid.
+		v.keep = []int{0}
+	}
+	out, cost := v.Transform(ds.X)
+	cost.Generic += float64(2 * n * d)
+	return numericDataset(ds, out), cost, nil
+}
+
+// Transform implements Transformer.
+func (v *VarianceThreshold) Transform(x [][]float64) ([][]float64, ml.Cost) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		selected := make([]float64, len(v.keep))
+		for t, j := range v.keep {
+			if j < len(row) {
+				selected[t] = row[j]
+			}
+		}
+		out[i] = selected
+	}
+	return out, ml.Cost{Generic: float64(len(x) * len(v.keep))}
+}
+
+// Name implements Transformer.
+func (v *VarianceThreshold) Name() string { return "variance_threshold" }
+
+// SelectKBest keeps the K columns with the highest ANOVA F-score against
+// the class label.
+type SelectKBest struct {
+	// K is the number of columns kept; 0 keeps half.
+	K    int
+	keep []int
+}
+
+// FitTransform implements Transformer.
+func (s *SelectKBest) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	n, d := ds.Rows(), ds.Features()
+	if n == 0 || d == 0 {
+		return nil, ml.Cost{}, errors.New("preprocess: select_k_best on empty data")
+	}
+	k := s.K
+	if k <= 0 {
+		k = (d + 1) / 2
+	}
+	if k > d {
+		k = d
+	}
+	type scored struct {
+		j     int
+		score float64
+	}
+	scores := make([]scored, d)
+	for j := 0; j < d; j++ {
+		scores[j] = scored{j: j, score: fScore(ds, j)}
+	}
+	sort.Slice(scores, func(a, b int) bool { return scores[a].score > scores[b].score })
+	s.keep = make([]int, k)
+	for t := 0; t < k; t++ {
+		s.keep[t] = scores[t].j
+	}
+	sort.Ints(s.keep)
+	out, cost := s.Transform(ds.X)
+	cost.Generic += float64(3*n*d) + float64(d)*math.Log2(float64(d)+2)
+	return numericDataset(ds, out), cost, nil
+}
+
+// fScore computes the one-way ANOVA F statistic of column j against the
+// class labels.
+func fScore(ds *tabular.Dataset, j int) float64 {
+	n := float64(ds.Rows())
+	k := ds.Classes
+	sums := make([]float64, k)
+	sumSqs := make([]float64, k)
+	counts := make([]float64, k)
+	var total float64
+	for i, row := range ds.X {
+		c := ds.Y[i]
+		v := row[j]
+		sums[c] += v
+		sumSqs[c] += v * v
+		counts[c]++
+		total += v
+	}
+	grand := total / n
+	var between, within float64
+	groups := 0
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		groups++
+		mean := sums[c] / counts[c]
+		between += counts[c] * (mean - grand) * (mean - grand)
+		within += sumSqs[c] - counts[c]*mean*mean
+	}
+	if groups < 2 || within < 1e-12 || n <= float64(groups) {
+		return 0
+	}
+	return (between / float64(groups-1)) / (within / (n - float64(groups)))
+}
+
+// Transform implements Transformer.
+func (s *SelectKBest) Transform(x [][]float64) ([][]float64, ml.Cost) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		selected := make([]float64, len(s.keep))
+		for t, j := range s.keep {
+			if j < len(row) {
+				selected[t] = row[j]
+			}
+		}
+		out[i] = selected
+	}
+	return out, ml.Cost{Generic: float64(len(x) * len(s.keep))}
+}
+
+// Name implements Transformer.
+func (s *SelectKBest) Name() string { return "select_k_best" }
+
+// PCA projects onto the top-K principal components, computed by power
+// iteration with deflation on the training covariance.
+type PCA struct {
+	// K is the number of components; 0 keeps min(8, d).
+	K          int
+	components [][]float64
+	mean       []float64
+}
+
+// FitTransform implements Transformer.
+func (p *PCA) FitTransform(ds *tabular.Dataset, rng *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+	n, d := ds.Rows(), ds.Features()
+	k := p.K
+	if k <= 0 {
+		k = 8
+	}
+	if k > d {
+		k = d
+	}
+	p.mean = make([]float64, d)
+	for _, row := range ds.X {
+		for j, v := range row {
+			p.mean[j] += v
+		}
+	}
+	for j := range p.mean {
+		p.mean[j] /= float64(n)
+	}
+	// Covariance matrix.
+	cov := make([][]float64, d)
+	for a := range cov {
+		cov[a] = make([]float64, d)
+	}
+	for _, row := range ds.X {
+		for a := 0; a < d; a++ {
+			da := row[a] - p.mean[a]
+			for b := a; b < d; b++ {
+				cov[a][b] += da * (row[b] - p.mean[b])
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			cov[a][b] /= float64(n)
+			cov[b][a] = cov[a][b]
+		}
+	}
+	const iters = 30
+	p.components = make([][]float64, 0, k)
+	for c := 0; c < k; c++ {
+		vec := make([]float64, d)
+		for j := range vec {
+			vec[j] = rng.NormFloat64()
+		}
+		for it := 0; it < iters; it++ {
+			next := make([]float64, d)
+			for a := 0; a < d; a++ {
+				var sum float64
+				for b := 0; b < d; b++ {
+					sum += cov[a][b] * vec[b]
+				}
+				next[a] = sum
+			}
+			norm := vecNorm(next)
+			if norm < 1e-12 {
+				break
+			}
+			for j := range next {
+				next[j] /= norm
+			}
+			vec = next
+		}
+		// Deflate.
+		lambda := rayleigh(cov, vec)
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				cov[a][b] -= lambda * vec[a] * vec[b]
+			}
+		}
+		p.components = append(p.components, vec)
+	}
+	out, cost := p.Transform(ds.X)
+	cost.Matrix += float64(n*d*d) + float64(k*iters*d*d)
+	return numericDataset(ds, out), cost, nil
+}
+
+func vecNorm(v []float64) float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+func rayleigh(m [][]float64, v []float64) float64 {
+	var num float64
+	for a := range m {
+		var sum float64
+		for b := range m[a] {
+			sum += m[a][b] * v[b]
+		}
+		num += v[a] * sum
+	}
+	return num
+}
+
+// Transform implements Transformer.
+func (p *PCA) Transform(x [][]float64) ([][]float64, ml.Cost) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		proj := make([]float64, len(p.components))
+		for c, comp := range p.components {
+			var dot float64
+			for j, v := range row {
+				if j < len(comp) {
+					dot += (v - p.mean[j]) * comp[j]
+				}
+			}
+			proj[c] = dot
+		}
+		out[i] = proj
+	}
+	var d int
+	if len(x) > 0 {
+		d = len(x[0])
+	}
+	return out, ml.Cost{Matrix: float64(2 * len(x) * len(p.components) * d)}
+}
+
+// Name implements Transformer.
+func (p *PCA) Name() string { return "pca" }

@@ -1,0 +1,145 @@
+// Package search implements the search strategies of the paper's AutoML
+// systems: Bayesian optimization with a random-forest surrogate (ASKL,
+// CAML), successive halving (CAML), NSGA-II genetic programming (TPOT),
+// median pruning (the development-stage optimizer, §2.5), and k-means
+// clustering (representative-dataset selection, §2.5).
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ml"
+	"repro/internal/pipeline"
+)
+
+// Observation is one evaluated configuration with its score (higher is
+// better).
+type Observation struct {
+	Config pipeline.Config
+	Score  float64
+}
+
+// BO is Bayesian optimization over a pipeline configuration space using a
+// random-forest surrogate and expected improvement — the strategy of
+// auto-sklearn (SMAC-style) and CAML. The surrogate's own compute is
+// returned from Suggest so callers can charge it to the energy meter: BO
+// overhead is part of execution energy.
+type BO struct {
+	// Space is the configuration space searched.
+	Space *pipeline.Space
+	// Candidates is the number of random/mutated candidates scored per
+	// suggestion (default 64).
+	Candidates int
+	// Xi is the expected-improvement exploration margin.
+	Xi float64
+	// MinObservations is the number of observations before the
+	// surrogate takes over from random sampling (default 3).
+	MinObservations int
+
+	obs []Observation
+	rng *rand.Rand
+}
+
+// NewBO constructs a Bayesian optimizer over the space.
+func NewBO(space *pipeline.Space, rng *rand.Rand) *BO {
+	return &BO{Space: space, Candidates: 64, Xi: 0.01, MinObservations: 3, rng: rng}
+}
+
+// Observe records an evaluated configuration.
+func (b *BO) Observe(cfg pipeline.Config, score float64) {
+	b.obs = append(b.obs, Observation{Config: cfg, Score: score})
+}
+
+// Observations returns the recorded history.
+func (b *BO) Observations() []Observation { return b.obs }
+
+// Best returns the best observation so far.
+func (b *BO) Best() (Observation, bool) {
+	if len(b.obs) == 0 {
+		return Observation{}, false
+	}
+	best := b.obs[0]
+	for _, o := range b.obs[1:] {
+		if o.Score > best.Score {
+			best = o
+		}
+	}
+	return best, true
+}
+
+// Suggest proposes the next configuration to evaluate and reports the
+// surrogate compute cost incurred.
+func (b *BO) Suggest() (pipeline.Config, ml.Cost) {
+	if len(b.obs) < b.MinObservations {
+		return b.Space.Sample(b.rng), ml.Cost{}
+	}
+
+	// Fit the surrogate on the history.
+	xs := make([][]float64, len(b.obs))
+	ys := make([]float64, len(b.obs))
+	for i, o := range b.obs {
+		xs[i] = b.Space.Vector(o.Config)
+		ys[i] = o.Score
+	}
+	surrogate := ml.NewForestRegressor(ml.ForestParams{
+		Trees:     20,
+		Bootstrap: true,
+		Tree:      ml.TreeParams{MaxDepth: 12, MinSamplesLeaf: 1, MaxFeatures: 0.8},
+	})
+	cost, err := surrogate.FitReg(xs, ys, b.rng)
+	if err != nil {
+		return b.Space.Sample(b.rng), cost
+	}
+
+	// Candidate pool: random samples plus local mutations of the best.
+	n := b.Candidates
+	if n < 4 {
+		n = 4
+	}
+	candidates := make([]pipeline.Config, 0, n)
+	best, _ := b.Best()
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			candidates = append(candidates, b.Space.Mutate(best.Config, 0.3, b.rng))
+		} else {
+			candidates = append(candidates, b.Space.Sample(b.rng))
+		}
+	}
+	vecs := make([][]float64, len(candidates))
+	for i, c := range candidates {
+		vecs[i] = b.Space.Vector(c)
+	}
+	mean, std, predCost := surrogate.PredictWithStd(vecs)
+	cost.Add(predCost)
+
+	bestEI := math.Inf(-1)
+	pick := 0
+	for i := range candidates {
+		ei := expectedImprovement(mean[i], std[i], best.Score, b.Xi)
+		if ei > bestEI {
+			bestEI = ei
+			pick = i
+		}
+	}
+	return candidates[pick], cost
+}
+
+// expectedImprovement computes EI for maximization.
+func expectedImprovement(mu, sigma, best, xi float64) float64 {
+	improvement := mu - best - xi
+	if sigma < 1e-12 {
+		if improvement > 0 {
+			return improvement
+		}
+		return 0
+	}
+	z := improvement / sigma
+	return improvement*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+func stdNormCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}

@@ -1,0 +1,93 @@
+package search
+
+import (
+	"sort"
+)
+
+// HalvingOptions configure successive halving.
+type HalvingOptions struct {
+	// Eta is the elimination factor per rung (default 3: keep the top
+	// third).
+	Eta int
+	// MinFidelity and MaxFidelity bound the resource fraction per rung
+	// (e.g. the training-subset fraction); fidelity multiplies by Eta
+	// per rung.
+	MinFidelity, MaxFidelity float64
+}
+
+func (o HalvingOptions) normalized() HalvingOptions {
+	if o.Eta < 2 {
+		o.Eta = 3
+	}
+	if o.MinFidelity <= 0 {
+		o.MinFidelity = 1.0 / 8
+	}
+	if o.MaxFidelity <= 0 || o.MaxFidelity > 1 {
+		o.MaxFidelity = 1
+	}
+	if o.MinFidelity > o.MaxFidelity {
+		o.MinFidelity = o.MaxFidelity
+	}
+	return o
+}
+
+// HalvingEval evaluates arm i at the given fidelity and returns its score
+// (higher is better) and whether the run succeeded. Returning ok == false
+// eliminates the arm immediately — this is how CAML prunes pipelines that
+// violate constraints "as early as possible" (paper §2.2).
+type HalvingEval func(arm int, fidelity float64) (score float64, ok bool)
+
+// HalvingResult reports the outcome of a successive-halving run.
+type HalvingResult struct {
+	// Survivors holds the arm indices alive after the last rung, best
+	// first.
+	Survivors []int
+	// Scores maps each surviving arm to its last-rung score.
+	Scores map[int]float64
+	// Rungs is the number of rungs executed.
+	Rungs int
+}
+
+// SuccessiveHalving runs arms through rungs of increasing fidelity,
+// keeping the top 1/Eta per rung. The eval callback is also the budget
+// hook: callers evaluate under the virtual clock and can return ok=false
+// once their budget is exhausted, freezing the current standings.
+func SuccessiveHalving(arms int, eval HalvingEval, opts HalvingOptions) HalvingResult {
+	opts = opts.normalized()
+	alive := make([]int, arms)
+	for i := range alive {
+		alive[i] = i
+	}
+	scores := make(map[int]float64, arms)
+	rungs := 0
+	for fidelity := opts.MinFidelity; len(alive) > 0; fidelity *= float64(opts.Eta) {
+		if fidelity > opts.MaxFidelity {
+			fidelity = opts.MaxFidelity
+		}
+		rungs++
+		var kept []int
+		for _, arm := range alive {
+			score, ok := eval(arm, fidelity)
+			if !ok {
+				delete(scores, arm)
+				continue
+			}
+			scores[arm] = score
+			kept = append(kept, arm)
+		}
+		alive = kept
+		sort.SliceStable(alive, func(a, b int) bool { return scores[alive[a]] > scores[alive[b]] })
+		if fidelity >= opts.MaxFidelity || len(alive) <= 1 {
+			break
+		}
+		next := len(alive) / opts.Eta
+		if next < 1 {
+			next = 1
+		}
+		for _, dropped := range alive[next:] {
+			delete(scores, dropped)
+		}
+		alive = alive[:next]
+	}
+	return HalvingResult{Survivors: alive, Scores: scores, Rungs: rungs}
+}

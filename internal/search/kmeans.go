@@ -1,0 +1,148 @@
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// KMeansResult is the output of Lloyd's algorithm.
+type KMeansResult struct {
+	// Centroids holds the k cluster centers.
+	Centroids [][]float64
+	// Assignment maps each point to its centroid index.
+	Assignment []int
+}
+
+// KMeans clusters points into k clusters with k-means++ initialization and
+// Lloyd iterations. The paper's development-stage optimizer clusters
+// datasets by meta-features and picks the dataset closest to each centroid
+// as the representative (§2.5, Fig. 2).
+func KMeans(points [][]float64, k int, iters int, rng *rand.Rand) KMeansResult {
+	n := len(points)
+	if n == 0 || k < 1 {
+		return KMeansResult{}
+	}
+	if k > n {
+		k = n
+	}
+	if iters < 1 {
+		iters = 25
+	}
+	centroids := kmeansPlusPlus(points, k, rng)
+	assignment := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for c, centroid := range centroids {
+				d := sqDist(p, centroid)
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if assignment[i] != best {
+				assignment[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		dims := len(points[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, p := range points {
+			c := assignment[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed empty clusters from a random point.
+				centroids[c] = append([]float64(nil), points[rng.IntN(n)]...)
+				continue
+			}
+			for j := range sums[c] {
+				sums[c][j] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return KMeansResult{Centroids: centroids, Assignment: assignment}
+}
+
+// ClosestToCentroids returns, for each centroid, the index of the nearest
+// point — the representative selection of paper Fig. 2. Each point
+// represents at most one centroid.
+func ClosestToCentroids(points [][]float64, centroids [][]float64) []int {
+	used := make(map[int]bool)
+	reps := make([]int, 0, len(centroids))
+	for _, centroid := range centroids {
+		best, bestDist := -1, math.Inf(1)
+		for i, p := range points {
+			if used[i] {
+				continue
+			}
+			d := sqDist(p, centroid)
+			if d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			reps = append(reps, best)
+		}
+	}
+	return reps
+}
+
+func kmeansPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), points[rng.IntN(n)]...))
+	dists := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		if total <= 0 {
+			centroids = append(centroids, append([]float64(nil), points[rng.IntN(n)]...))
+			continue
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range dists {
+			acc += d
+			if u < acc {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		diff := a[i] - b[i]
+		sum += diff * diff
+	}
+	return sum
+}

@@ -1,0 +1,149 @@
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// NSGA-II (Deb et al. 2002) is the multi-objective evolutionary selection
+// TPOT uses to evolve pipelines, trading predictive performance against
+// pipeline complexity. Objectives follow the minimization convention.
+
+// NonDominatedSort partitions objective vectors into Pareto fronts
+// (front 0 = non-dominated). All objectives are minimized.
+func NonDominatedSort(objectives [][]float64) [][]int {
+	n := len(objectives)
+	dominatedBy := make([]int, n) // count of solutions dominating i
+	dominates := make([][]int, n) // solutions i dominates
+	var fronts [][]int
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if dominatesVec(objectives[i], objectives[j]) {
+				dominates[i] = append(dominates[i], j)
+			} else if dominatesVec(objectives[j], objectives[i]) {
+				dominatedBy[i]++
+			}
+		}
+		if dominatedBy[i] == 0 {
+			first = append(first, i)
+		}
+	}
+	front := first
+	for len(front) > 0 {
+		fronts = append(fronts, front)
+		var next []int
+		for _, i := range front {
+			for _, j := range dominates[i] {
+				dominatedBy[j]--
+				if dominatedBy[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		front = next
+	}
+	return fronts
+}
+
+// dominatesVec reports whether a Pareto-dominates b (minimization).
+func dominatesVec(a, b []float64) bool {
+	better := false
+	for k := range a {
+		if a[k] > b[k] {
+			return false
+		}
+		if a[k] < b[k] {
+			better = true
+		}
+	}
+	return better
+}
+
+// CrowdingDistance computes the NSGA-II crowding distance of the members
+// of one front. Boundary solutions get +Inf.
+func CrowdingDistance(objectives [][]float64, front []int) map[int]float64 {
+	dist := make(map[int]float64, len(front))
+	for _, i := range front {
+		dist[i] = 0
+	}
+	if len(front) == 0 {
+		return dist
+	}
+	numObjectives := len(objectives[front[0]])
+	for k := 0; k < numObjectives; k++ {
+		sorted := append([]int(nil), front...)
+		sort.Slice(sorted, func(a, b int) bool {
+			return objectives[sorted[a]][k] < objectives[sorted[b]][k]
+		})
+		lo := objectives[sorted[0]][k]
+		hi := objectives[sorted[len(sorted)-1]][k]
+		dist[sorted[0]] = math.Inf(1)
+		dist[sorted[len(sorted)-1]] = math.Inf(1)
+		if hi-lo < 1e-12 {
+			continue
+		}
+		for p := 1; p < len(sorted)-1; p++ {
+			dist[sorted[p]] += (objectives[sorted[p+1]][k] - objectives[sorted[p-1]][k]) / (hi - lo)
+		}
+	}
+	return dist
+}
+
+// NSGA2Select returns the indices of the n survivors by front rank then
+// crowding distance.
+func NSGA2Select(objectives [][]float64, n int) []int {
+	if n >= len(objectives) {
+		all := make([]int, len(objectives))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var selected []int
+	for _, front := range NonDominatedSort(objectives) {
+		if len(selected)+len(front) <= n {
+			selected = append(selected, front...)
+			continue
+		}
+		dist := CrowdingDistance(objectives, front)
+		sorted := append([]int(nil), front...)
+		sort.Slice(sorted, func(a, b int) bool { return dist[sorted[a]] > dist[sorted[b]] })
+		selected = append(selected, sorted[:n-len(selected)]...)
+		break
+	}
+	return selected
+}
+
+// BinaryTournament picks one index out of the population by two-way
+// tournament on (front rank, crowding distance).
+func BinaryTournament(objectives [][]float64, rng *rand.Rand) int {
+	n := len(objectives)
+	if n == 0 {
+		return -1
+	}
+	rank := make([]int, n)
+	for r, front := range NonDominatedSort(objectives) {
+		for _, i := range front {
+			rank[i] = r
+		}
+	}
+	a, b := rng.IntN(n), rng.IntN(n)
+	if rank[a] != rank[b] {
+		if rank[a] < rank[b] {
+			return a
+		}
+		return b
+	}
+	// Same rank: prefer the less crowded.
+	front := []int{a, b}
+	dist := CrowdingDistance(objectives, front)
+	if dist[a] >= dist[b] {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package search
+
+import "sort"
+
+// MedianPruner implements the median stopping rule the paper's
+// development-stage optimizer uses (§2.5): a trial reporting an
+// intermediate value below the median of completed trials' values at the
+// same step is pruned. "For poor-performing AutoML parameters, evaluating
+// a few datasets is sufficient to detect that the parameters are not
+// performing well."
+type MedianPruner struct {
+	// MinTrials is the number of completed trials required before
+	// pruning activates (default 4).
+	MinTrials int
+	// completed[step] holds the intermediate values of completed trials
+	// at that step.
+	completed map[int][]float64
+	trials    int
+}
+
+// NewMedianPruner constructs a pruner.
+func NewMedianPruner() *MedianPruner {
+	return &MedianPruner{MinTrials: 4, completed: make(map[int][]float64)}
+}
+
+// CompleteTrial records the per-step intermediate values of a finished
+// trial.
+func (p *MedianPruner) CompleteTrial(stepValues []float64) {
+	for step, v := range stepValues {
+		p.completed[step] = append(p.completed[step], v)
+	}
+	p.trials++
+}
+
+// ShouldPrune reports whether a running trial with the given value at the
+// given step should stop.
+func (p *MedianPruner) ShouldPrune(step int, value float64) bool {
+	if p.trials < p.MinTrials {
+		return false
+	}
+	values := p.completed[step]
+	if len(values) == 0 {
+		return false
+	}
+	return value < median(values)
+}
+
+// Trials reports the number of completed trials recorded.
+func (p *MedianPruner) Trials() int { return p.trials }
+
+func median(values []float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

@@ -1,0 +1,313 @@
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 0x5ea)) }
+
+// quadSpace is a simple two-parameter space for optimizer tests.
+func quadSpace() *pipeline.Space {
+	return pipeline.NewSpace(
+		pipeline.Param{Name: "x", Kind: pipeline.Float, Min: 0, Max: 1, Default: 0.5},
+		pipeline.Param{Name: "y", Kind: pipeline.Float, Min: 0, Max: 1, Default: 0.5},
+	)
+}
+
+// quadObjective peaks at (0.7, 0.3).
+func quadObjective(cfg pipeline.Config) float64 {
+	dx := cfg["x"] - 0.7
+	dy := cfg["y"] - 0.3
+	return 1 - dx*dx - dy*dy
+}
+
+func TestBOBeatsRandomSearch(t *testing.T) {
+	const evals = 40
+	runBO := func(seed uint64) float64 {
+		rng := testRNG(seed)
+		bo := NewBO(quadSpace(), rng)
+		for i := 0; i < evals; i++ {
+			cfg, _ := bo.Suggest()
+			bo.Observe(cfg, quadObjective(cfg))
+		}
+		best, _ := bo.Best()
+		return best.Score
+	}
+	runRandom := func(seed uint64) float64 {
+		rng := testRNG(seed)
+		space := quadSpace()
+		best := math.Inf(-1)
+		for i := 0; i < evals; i++ {
+			if s := quadObjective(space.Sample(rng)); s > best {
+				best = s
+			}
+		}
+		return best
+	}
+	var boSum, rndSum float64
+	const trials = 10
+	for s := uint64(0); s < trials; s++ {
+		boSum += runBO(s)
+		rndSum += runRandom(s)
+	}
+	if boSum <= rndSum {
+		t.Errorf("BO (%.4f avg) did not beat random search (%.4f avg) on a smooth objective",
+			boSum/trials, rndSum/trials)
+	}
+}
+
+func TestBOBestEmpty(t *testing.T) {
+	bo := NewBO(quadSpace(), testRNG(1))
+	if _, ok := bo.Best(); ok {
+		t.Error("Best reported an observation before any Observe")
+	}
+	// Early suggestions (before MinObservations) are random samples and
+	// free of surrogate cost.
+	cfg, cost := bo.Suggest()
+	if len(cfg) == 0 {
+		t.Error("empty suggestion")
+	}
+	if cost.Total() != 0 {
+		t.Error("random-phase suggestion charged surrogate cost")
+	}
+	bo.Observe(cfg, 0.5)
+	if len(bo.Observations()) != 1 {
+		t.Error("observation not recorded")
+	}
+}
+
+func TestBOSurrogateCostCharged(t *testing.T) {
+	rng := testRNG(2)
+	bo := NewBO(quadSpace(), rng)
+	for i := 0; i < 5; i++ {
+		cfg := quadSpace().Sample(rng)
+		bo.Observe(cfg, quadObjective(cfg))
+	}
+	_, cost := bo.Suggest()
+	if cost.Total() <= 0 {
+		t.Error("surrogate-phase suggestion reported no compute cost — BO overhead must hit the meter")
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// Far-above-best mean with no uncertainty: EI == improvement.
+	if got := expectedImprovement(2, 0, 1, 0); got != 1 {
+		t.Errorf("EI = %v, want 1", got)
+	}
+	// Below best with no uncertainty: EI == 0.
+	if got := expectedImprovement(0.5, 0, 1, 0); got != 0 {
+		t.Errorf("EI = %v, want 0", got)
+	}
+	// Uncertainty adds exploration value even below the incumbent.
+	if got := expectedImprovement(0.9, 0.5, 1, 0); got <= 0 {
+		t.Errorf("EI = %v, want > 0 under uncertainty", got)
+	}
+}
+
+func TestSuccessiveHalvingKeepsBestArm(t *testing.T) {
+	// Arm score is arm index / 10 at every fidelity: arm 9 must win.
+	res := SuccessiveHalving(10, func(arm int, fidelity float64) (float64, bool) {
+		return float64(arm) / 10, true
+	}, HalvingOptions{})
+	if len(res.Survivors) == 0 || res.Survivors[0] != 9 {
+		t.Errorf("survivors %v, want arm 9 first", res.Survivors)
+	}
+	if res.Rungs < 2 {
+		t.Errorf("only %d rungs executed", res.Rungs)
+	}
+}
+
+func TestSuccessiveHalvingEliminatesFailures(t *testing.T) {
+	res := SuccessiveHalving(4, func(arm int, fidelity float64) (float64, bool) {
+		if arm%2 == 0 {
+			return 0, false // constraint violation — pruned immediately
+		}
+		return float64(arm), true
+	}, HalvingOptions{})
+	for _, s := range res.Survivors {
+		if s%2 == 0 {
+			t.Errorf("failing arm %d survived", s)
+		}
+	}
+	if len(res.Survivors) == 0 {
+		t.Error("all arms eliminated")
+	}
+}
+
+func TestSuccessiveHalvingShrinksPerRung(t *testing.T) {
+	evaluations := map[float64]int{}
+	SuccessiveHalving(9, func(arm int, fidelity float64) (float64, bool) {
+		evaluations[fidelity]++
+		return float64(arm), true
+	}, HalvingOptions{Eta: 3, MinFidelity: 0.25, MaxFidelity: 1})
+	if evaluations[0.25] != 9 {
+		t.Errorf("first rung evaluated %d arms, want 9", evaluations[0.25])
+	}
+	if evaluations[0.75] != 3 {
+		t.Errorf("second rung evaluated %d arms, want 3 (eta=3)", evaluations[0.75])
+	}
+	if evaluations[1] != 1 {
+		t.Errorf("final rung evaluated %d arms, want 1", evaluations[1])
+	}
+}
+
+func TestMedianPruner(t *testing.T) {
+	p := NewMedianPruner()
+	p.MinTrials = 2
+	if p.ShouldPrune(0, -100) {
+		t.Error("pruned before any completed trial")
+	}
+	p.CompleteTrial([]float64{1, 2, 3})
+	p.CompleteTrial([]float64{3, 4, 5})
+	// Median at step 0 is 2: a trial at 1.5 is pruned, one at 2.5 not.
+	if !p.ShouldPrune(0, 1.5) {
+		t.Error("below-median trial not pruned")
+	}
+	if p.ShouldPrune(0, 2.5) {
+		t.Error("above-median trial pruned")
+	}
+	if p.ShouldPrune(10, 0) {
+		t.Error("pruned at a step with no history")
+	}
+	if p.Trials() != 2 {
+		t.Errorf("trials = %d, want 2", p.Trials())
+	}
+}
+
+func TestNonDominatedSort(t *testing.T) {
+	objectives := [][]float64{
+		{1, 1}, // front 0
+		{2, 2}, // dominated by {1,1}
+		{0, 3}, // front 0 (trade-off)
+		{3, 3}, // dominated by everything
+	}
+	fronts := NonDominatedSort(objectives)
+	if len(fronts) < 2 {
+		t.Fatalf("fronts %v", fronts)
+	}
+	first := map[int]bool{}
+	for _, i := range fronts[0] {
+		first[i] = true
+	}
+	if !first[0] || !first[2] || first[1] || first[3] {
+		t.Errorf("front 0 = %v, want {0,2}", fronts[0])
+	}
+	// The fronts partition the population.
+	total := 0
+	for _, f := range fronts {
+		total += len(f)
+	}
+	if total != len(objectives) {
+		t.Errorf("fronts cover %d of %d", total, len(objectives))
+	}
+}
+
+func TestCrowdingDistanceBoundaries(t *testing.T) {
+	objectives := [][]float64{{0, 2}, {1, 1}, {2, 0}}
+	dist := CrowdingDistance(objectives, []int{0, 1, 2})
+	if !math.IsInf(dist[0], 1) || !math.IsInf(dist[2], 1) {
+		t.Errorf("boundary solutions not infinite: %v", dist)
+	}
+	if math.IsInf(dist[1], 1) || dist[1] <= 0 {
+		t.Errorf("interior crowding %v", dist[1])
+	}
+}
+
+func TestNSGA2Select(t *testing.T) {
+	objectives := [][]float64{{1, 1}, {2, 2}, {0, 3}, {3, 3}, {0.5, 0.5}}
+	selected := NSGA2Select(objectives, 2)
+	if len(selected) != 2 {
+		t.Fatalf("selected %d, want 2", len(selected))
+	}
+	// {0.5,0.5} dominates {1,1}: it must always survive.
+	found := false
+	for _, i := range selected {
+		if i == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dominant solution dropped: %v", selected)
+	}
+	// Requesting more than available returns everything.
+	if got := NSGA2Select(objectives, 10); len(got) != 5 {
+		t.Errorf("overselect returned %d", len(got))
+	}
+}
+
+func TestBinaryTournamentPrefersDominant(t *testing.T) {
+	objectives := [][]float64{{0, 0}, {5, 5}}
+	rng := testRNG(3)
+	wins := 0
+	for i := 0; i < 100; i++ {
+		if BinaryTournament(objectives, rng) == 0 {
+			wins++
+		}
+	}
+	if wins < 70 {
+		t.Errorf("dominant solution won only %d/100 tournaments", wins)
+	}
+	if BinaryTournament(nil, rng) != -1 {
+		t.Error("empty tournament should return -1")
+	}
+}
+
+func TestKMeansClusterStructure(t *testing.T) {
+	rng := testRNG(4)
+	var points [][]float64
+	// Three well-separated clusters of 20 points.
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 20; i++ {
+			points = append(points, []float64{
+				10*float64(c) + rng.NormFloat64(),
+				10*float64(c) + rng.NormFloat64(),
+			})
+		}
+	}
+	res := KMeans(points, 3, 50, rng)
+	if len(res.Centroids) != 3 {
+		t.Fatalf("%d centroids", len(res.Centroids))
+	}
+	// All members of one true cluster share an assignment.
+	for c := 0; c < 3; c++ {
+		first := res.Assignment[c*20]
+		for i := 1; i < 20; i++ {
+			if res.Assignment[c*20+i] != first {
+				t.Errorf("cluster %d split across centroids", c)
+				break
+			}
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if res := KMeans(nil, 3, 10, testRNG(5)); res.Centroids != nil {
+		t.Error("empty input produced centroids")
+	}
+	points := [][]float64{{1}, {2}}
+	res := KMeans(points, 5, 10, testRNG(6))
+	if len(res.Centroids) != 2 {
+		t.Errorf("k clamps to n: got %d centroids", len(res.Centroids))
+	}
+}
+
+func TestClosestToCentroidsDistinct(t *testing.T) {
+	points := [][]float64{{0}, {0.1}, {10}, {10.1}}
+	centroids := [][]float64{{0}, {10}}
+	reps := ClosestToCentroids(points, centroids)
+	if len(reps) != 2 {
+		t.Fatalf("reps %v", reps)
+	}
+	if reps[0] == reps[1] {
+		t.Error("one point represents two centroids")
+	}
+	// Identical centroids still pick distinct representatives.
+	reps = ClosestToCentroids(points, [][]float64{{0}, {0}})
+	if reps[0] == reps[1] {
+		t.Error("duplicate centroids share a representative")
+	}
+}

@@ -1,0 +1,228 @@
+package tabular
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions configure dataset parsing.
+type CSVOptions struct {
+	// TargetColumn names the label column; empty uses the last column.
+	TargetColumn string
+	// HasHeader marks the first row as column names (default assumed
+	// true when any first-row cell is non-numeric).
+	HasHeader bool
+	// MaxCategories is the distinct-value threshold below which a
+	// non-numeric column becomes categorical codes (default 64; columns
+	// above it are rejected as likely identifiers).
+	MaxCategories int
+	// MissingValues lists cell strings treated as missing (default
+	// "", "?", "NA", "NaN", "null").
+	MissingValues []string
+}
+
+func (o CSVOptions) normalized() CSVOptions {
+	if o.MaxCategories <= 0 {
+		o.MaxCategories = 64
+	}
+	if o.MissingValues == nil {
+		o.MissingValues = []string{"", "?", "NA", "NaN", "null"}
+	}
+	return o
+}
+
+// ReadCSV parses a delimited file into a Dataset: numeric columns stay
+// numeric (missing cells become NaN for the imputer), non-numeric columns
+// are ordinal-encoded as categorical codes, and the target column becomes
+// integer class labels. This is the entry point for running the library
+// on real data rather than the synthetic AMLB replicas.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	opts = opts.normalized()
+	reader := csv.NewReader(r)
+	reader.TrimLeadingSpace = true
+	rows, err := reader.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("tabular: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("tabular: empty csv")
+	}
+
+	header := rows[0]
+	hasHeader := opts.HasHeader
+	if !hasHeader {
+		// Heuristic: a first row with any non-numeric, non-missing cell
+		// is a header.
+		for _, cell := range header {
+			if !isMissing(cell, opts.MissingValues) {
+				if _, err := strconv.ParseFloat(strings.TrimSpace(cell), 64); err != nil {
+					hasHeader = true
+					break
+				}
+			}
+		}
+	}
+	var names []string
+	var data [][]string
+	if hasHeader {
+		names = header
+		data = rows[1:]
+	} else {
+		names = make([]string, len(header))
+		for i := range names {
+			names[i] = fmt.Sprintf("col%d", i)
+		}
+		data = rows
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("tabular: csv has a header but no data rows")
+	}
+
+	width := len(names)
+	for i, row := range data {
+		if len(row) != width {
+			return nil, fmt.Errorf("tabular: row %d has %d cells, want %d", i+1, len(row), width)
+		}
+	}
+
+	// Locate the target column.
+	target := width - 1
+	if opts.TargetColumn != "" {
+		target = -1
+		for i, n := range names {
+			if n == opts.TargetColumn {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			return nil, fmt.Errorf("tabular: target column %q not found", opts.TargetColumn)
+		}
+	}
+
+	// Classify feature columns as numeric or categorical.
+	type colInfo struct {
+		numeric bool
+		codes   map[string]int
+		order   []string
+	}
+	infos := make([]colInfo, width)
+	for j := 0; j < width; j++ {
+		numeric := true
+		distinct := map[string]bool{}
+		for _, row := range data {
+			cell := strings.TrimSpace(row[j])
+			if isMissing(cell, opts.MissingValues) {
+				continue
+			}
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				numeric = false
+			}
+			distinct[cell] = true
+		}
+		info := colInfo{numeric: numeric}
+		if !numeric || j == target {
+			if len(distinct) > opts.MaxCategories && j != target {
+				return nil, fmt.Errorf("tabular: column %q has %d distinct non-numeric values (max %d) — likely an identifier",
+					names[j], len(distinct), opts.MaxCategories)
+			}
+			info.order = make([]string, 0, len(distinct))
+			for v := range distinct {
+				info.order = append(info.order, v)
+			}
+			sort.Strings(info.order)
+			info.codes = make(map[string]int, len(info.order))
+			for code, v := range info.order {
+				info.codes[v] = code
+			}
+		}
+		infos[j] = info
+	}
+
+	// Target labels: categorical columns use their codes; numeric
+	// targets must hold small non-negative integers.
+	targetInfo := infos[target]
+	classes := len(targetInfo.order)
+	labelOf := func(cell string) (int, error) {
+		cell = strings.TrimSpace(cell)
+		if targetInfo.numeric && targetInfo.codes == nil {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return 0, err
+			}
+			return int(v), nil
+		}
+		code, ok := targetInfo.codes[cell]
+		if !ok {
+			return 0, fmt.Errorf("unknown label %q", cell)
+		}
+		return code, nil
+	}
+	if targetInfo.numeric && targetInfo.codes != nil {
+		// Numeric strings as categories — use codes anyway.
+		classes = len(targetInfo.order)
+	}
+
+	ds := &Dataset{Name: "csv", Classes: classes, Kinds: make([]FeatureKind, 0, width-1)}
+	for j := 0; j < width; j++ {
+		if j == target {
+			continue
+		}
+		if infos[j].numeric {
+			ds.Kinds = append(ds.Kinds, Numeric)
+		} else {
+			ds.Kinds = append(ds.Kinds, Categorical)
+		}
+	}
+
+	for i, row := range data {
+		label, err := labelOf(row[target])
+		if err != nil {
+			return nil, fmt.Errorf("tabular: row %d: %w", i+1, err)
+		}
+		if label < 0 || label >= classes {
+			return nil, fmt.Errorf("tabular: row %d: label %d outside [0,%d)", i+1, label, classes)
+		}
+		features := make([]float64, 0, width-1)
+		for j, cell := range row {
+			if j == target {
+				continue
+			}
+			cell = strings.TrimSpace(cell)
+			switch {
+			case isMissing(cell, opts.MissingValues):
+				features = append(features, math.NaN())
+			case infos[j].numeric:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("tabular: row %d column %q: %w", i+1, names[j], err)
+				}
+				features = append(features, v)
+			default:
+				features = append(features, float64(infos[j].codes[cell]))
+			}
+		}
+		ds.X = append(ds.X, features)
+		ds.Y = append(ds.Y, label)
+	}
+
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("tabular: parsed csv invalid: %w", err)
+	}
+	return ds, nil
+}
+
+func isMissing(cell string, missing []string) bool {
+	cell = strings.TrimSpace(cell)
+	for _, m := range missing {
+		if strings.EqualFold(cell, m) {
+			return true
+		}
+	}
+	return false
+}

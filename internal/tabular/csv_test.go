@@ -1,0 +1,133 @@
+package tabular
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	csv := `age,income,city,label
+25,50000,berlin,yes
+30,60000,hamburg,no
+35,?,berlin,yes
+40,80000,munich,no
+`
+	ds, err := ReadCSV(strings.NewReader(csv), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 4 || ds.Features() != 3 {
+		t.Fatalf("shape %dx%d, want 4x3", ds.Rows(), ds.Features())
+	}
+	if ds.Classes != 2 {
+		t.Errorf("classes %d, want 2", ds.Classes)
+	}
+	// Labels are sorted codes: "no"=0, "yes"=1.
+	if ds.Y[0] != 1 || ds.Y[1] != 0 {
+		t.Errorf("labels %v", ds.Y)
+	}
+	// Numeric columns parsed, missing cell is NaN.
+	if ds.X[0][0] != 25 || ds.X[0][1] != 50000 {
+		t.Errorf("numeric row %v", ds.X[0])
+	}
+	if !math.IsNaN(ds.X[2][1]) {
+		t.Errorf("missing income %v, want NaN", ds.X[2][1])
+	}
+	// City is categorical with sorted codes: berlin=0, hamburg=1,
+	// munich=2.
+	if ds.Kind(2) != Categorical {
+		t.Error("city not categorical")
+	}
+	if ds.X[0][2] != 0 || ds.X[1][2] != 1 || ds.X[3][2] != 2 {
+		t.Errorf("city codes %v %v %v", ds.X[0][2], ds.X[1][2], ds.X[3][2])
+	}
+}
+
+func TestReadCSVTargetColumn(t *testing.T) {
+	csv := `label,x
+a,1
+b,2
+a,3
+`
+	ds, err := ReadCSV(strings.NewReader(csv), CSVOptions{TargetColumn: "label"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Features() != 1 || ds.Classes != 2 {
+		t.Fatalf("shape %d features %d classes", ds.Features(), ds.Classes)
+	}
+	if ds.Y[0] != 0 || ds.Y[1] != 1 || ds.Y[2] != 0 {
+		t.Errorf("labels %v", ds.Y)
+	}
+	if _, err := ReadCSV(strings.NewReader(csv), CSVOptions{TargetColumn: "nope"}); err == nil {
+		t.Error("missing target column accepted")
+	}
+}
+
+func TestReadCSVHeaderless(t *testing.T) {
+	csv := "1,2,0\n3,4,1\n5,6,0\n7,8,1\n"
+	ds, err := ReadCSV(strings.NewReader(csv), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 4 {
+		t.Errorf("headerless csv lost rows: %d", ds.Rows())
+	}
+	if ds.Classes != 2 {
+		t.Errorf("classes %d", ds.Classes)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), CSVOptions{}); err == nil {
+		t.Error("header-only input accepted")
+	}
+	// Ragged row (csv reader itself rejects).
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), CSVOptions{}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	// High-cardinality string feature (identifier-like).
+	var sb strings.Builder
+	sb.WriteString("id,label\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString(strings.Repeat("x", i%7+1))
+		if i%2 == 0 {
+			sb.WriteString(string(rune('a'+i%26)) + "q" + string(rune('0'+i%10)))
+		}
+		sb.WriteString(",")
+		if i%2 == 0 {
+			sb.WriteString("p\n")
+		} else {
+			sb.WriteString("q\n")
+		}
+	}
+	// Build distinct ids properly.
+	var sb2 strings.Builder
+	sb2.WriteString("id,label\n")
+	for i := 0; i < 100; i++ {
+		sb2.WriteString("user")
+		sb2.WriteString(strings.Repeat("z", i%3))
+		sb2.WriteString(string(rune('a' + i%26)))
+		sb2.WriteString(string(rune('0' + (i/26)%10)))
+		sb2.WriteString(",p\n")
+	}
+	_, err := ReadCSV(strings.NewReader(sb2.String()), CSVOptions{MaxCategories: 16})
+	if err == nil {
+		t.Error("identifier-like column accepted")
+	}
+}
+
+func TestReadCSVNumericTarget(t *testing.T) {
+	csv := "x,y\n1.5,0\n2.5,1\n3.5,2\n4.5,1\n"
+	ds, err := ReadCSV(strings.NewReader(csv), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 3 {
+		t.Errorf("classes %d, want 3", ds.Classes)
+	}
+}

@@ -1,0 +1,414 @@
+// Package tabular provides the dataset representation shared by every ML
+// and AutoML component in this repository.
+//
+// The paper's scope is supervised classification on tabular data with
+// numeric and categorical attributes — "the most studied data modality by
+// AutoML systems". A Dataset holds a dense row-major feature matrix, a
+// per-feature kind (numeric or categorical, where categorical cells store
+// integer codes), and integer class labels. The package supplies the split
+// and resampling machinery the AutoML systems need: stratified train/test
+// splits, hold-out validation splits, k-fold cross-validation, and
+// stratified subsampling.
+package tabular
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// FeatureKind distinguishes numeric from categorical attributes.
+type FeatureKind int
+
+const (
+	// Numeric features hold continuous values.
+	Numeric FeatureKind = iota
+	// Categorical features hold non-negative integer category codes
+	// stored as float64.
+	Categorical
+)
+
+// String implements fmt.Stringer.
+func (k FeatureKind) String() string {
+	if k == Categorical {
+		return "categorical"
+	}
+	return "numeric"
+}
+
+// Dataset is a supervised classification dataset.
+type Dataset struct {
+	// Name identifies the dataset (e.g. the OpenML task name).
+	Name string
+	// X is the row-major feature matrix; all rows have equal length.
+	X [][]float64
+	// Y holds one class label in [0, Classes) per row.
+	Y []int
+	// Kinds gives the kind of each feature column. A nil Kinds means
+	// all-numeric.
+	Kinds []FeatureKind
+	// Classes is the number of distinct class labels.
+	Classes int
+}
+
+// Rows reports the number of instances.
+func (d *Dataset) Rows() int { return len(d.X) }
+
+// Features reports the number of attribute columns.
+func (d *Dataset) Features() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Kind reports the kind of feature j, defaulting to Numeric when Kinds is
+// nil.
+func (d *Dataset) Kind(j int) FeatureKind {
+	if d.Kinds == nil || j < 0 || j >= len(d.Kinds) {
+		return Numeric
+	}
+	return d.Kinds[j]
+}
+
+// NumCategorical reports how many features are categorical.
+func (d *Dataset) NumCategorical() int {
+	n := 0
+	for _, k := range d.Kinds {
+		if k == Categorical {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate reports a descriptive error if the dataset is malformed.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return errors.New("tabular: dataset has no rows")
+	}
+	if len(d.Y) != len(d.X) {
+		return fmt.Errorf("tabular: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	if d.Classes < 2 {
+		return fmt.Errorf("tabular: need >= 2 classes, got %d", d.Classes)
+	}
+	width := len(d.X[0])
+	if width == 0 {
+		return errors.New("tabular: dataset has no features")
+	}
+	if d.Kinds != nil && len(d.Kinds) != width {
+		return fmt.Errorf("tabular: %d features but %d kinds", width, len(d.Kinds))
+	}
+	for i, row := range d.X {
+		if len(row) != width {
+			return fmt.Errorf("tabular: row %d has %d features, want %d", i, len(row), width)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("tabular: label %d of row %d outside [0,%d)", y, i, d.Classes)
+		}
+	}
+	return nil
+}
+
+// Select returns a new dataset containing the rows at the given indices.
+// The feature rows are shared, not copied; callers that mutate cells must
+// CloneDeep first.
+func (d *Dataset) Select(idx []int) *Dataset {
+	out := &Dataset{
+		Name:    d.Name,
+		X:       make([][]float64, len(idx)),
+		Y:       make([]int, len(idx)),
+		Kinds:   d.Kinds,
+		Classes: d.Classes,
+	}
+	for i, r := range idx {
+		out.X[i] = d.X[r]
+		out.Y[i] = d.Y[r]
+	}
+	return out
+}
+
+// CloneDeep returns a dataset with fully copied feature rows and labels.
+func (d *Dataset) CloneDeep() *Dataset {
+	out := &Dataset{
+		Name:    d.Name,
+		X:       make([][]float64, len(d.X)),
+		Y:       append([]int(nil), d.Y...),
+		Classes: d.Classes,
+	}
+	if d.Kinds != nil {
+		out.Kinds = append([]FeatureKind(nil), d.Kinds...)
+	}
+	for i, row := range d.X {
+		out.X[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// ClassCounts returns the number of instances per class.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, y := range d.Y {
+		if y >= 0 && y < d.Classes {
+			counts[y]++
+		}
+	}
+	return counts
+}
+
+// StratifiedSplit partitions the dataset into two parts where the first
+// receives approximately `frac` of each class. The split is deterministic
+// given the rng. Each class contributes at least one instance to each side
+// when it has at least two instances.
+func (d *Dataset) StratifiedSplit(frac float64, rng *rand.Rand) (first, second *Dataset) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	var firstIdx, secondIdx []int
+	for _, members := range byClass {
+		if len(members) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(members))
+		n := int(math.Round(frac * float64(len(members))))
+		if len(members) >= 2 {
+			if n == 0 {
+				n = 1
+			}
+			if n == len(members) {
+				n = len(members) - 1
+			}
+		}
+		for i, p := range perm {
+			if i < n {
+				firstIdx = append(firstIdx, members[p])
+			} else {
+				secondIdx = append(secondIdx, members[p])
+			}
+		}
+	}
+	shuffleInts(firstIdx, rng)
+	shuffleInts(secondIdx, rng)
+	return d.Select(firstIdx), d.Select(secondIdx)
+}
+
+// TrainTestSplit applies the paper's 66/34 split (§3.1).
+func (d *Dataset) TrainTestSplit(rng *rand.Rand) (train, test *Dataset) {
+	return d.StratifiedSplit(0.66, rng)
+}
+
+// Subsample returns a stratified sample of up to n rows. If n >= Rows the
+// dataset itself is returned.
+func (d *Dataset) Subsample(n int, rng *rand.Rand) *Dataset {
+	if n >= d.Rows() {
+		return d
+	}
+	if n < d.Classes {
+		n = d.Classes
+	}
+	frac := float64(n) / float64(d.Rows())
+	sample, _ := d.StratifiedSplit(frac, rng)
+	return sample
+}
+
+// SubsamplePerClass returns a stratified sample with up to perClass rows of
+// each class, preserving at least one row per present class.
+func (d *Dataset) SubsamplePerClass(perClass int, rng *rand.Rand) *Dataset {
+	if perClass < 1 {
+		perClass = 1
+	}
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	var idx []int
+	for _, members := range byClass {
+		if len(members) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(members))
+		n := perClass
+		if n > len(members) {
+			n = len(members)
+		}
+		for _, p := range perm[:n] {
+			idx = append(idx, members[p])
+		}
+	}
+	shuffleInts(idx, rng)
+	return d.Select(idx)
+}
+
+// KFoldIndices returns k stratified folds as row-index slices. k is
+// clamped to [2, Rows].
+func (d *Dataset) KFoldIndices(k int, rng *rand.Rand) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > d.Rows() {
+		k = d.Rows()
+	}
+	folds := make([][]int, k)
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	next := 0
+	for _, members := range byClass {
+		perm := rng.Perm(len(members))
+		for _, p := range perm {
+			folds[next%k] = append(folds[next%k], members[p])
+			next++
+		}
+	}
+	return folds
+}
+
+// KFold returns k stratified (train, validation) splits for cross-validation
+// (used by TPOT, paper §3.2 footnote 1). k is clamped to [2, Rows].
+func (d *Dataset) KFold(k int, rng *rand.Rand) (trains, vals []*Dataset) {
+	folds := d.KFoldIndices(k, rng)
+	k = len(folds)
+	trains = make([]*Dataset, k)
+	vals = make([]*Dataset, k)
+	for f := 0; f < k; f++ {
+		var trainIdx []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				trainIdx = append(trainIdx, folds[g]...)
+			}
+		}
+		shuffleInts(trainIdx, rng)
+		trains[f] = d.Select(trainIdx)
+		vals[f] = d.Select(folds[f])
+	}
+	return trains, vals
+}
+
+// Bootstrap returns a dataset of Rows() instances sampled with replacement,
+// as used by bagging.
+func (d *Dataset) Bootstrap(rng *rand.Rand) *Dataset {
+	idx := make([]int, d.Rows())
+	for i := range idx {
+		idx[i] = rng.IntN(d.Rows())
+	}
+	return d.Select(idx)
+}
+
+// Column copies feature column j into a new slice.
+func (d *Dataset) Column(j int) []float64 {
+	col := make([]float64, d.Rows())
+	for i, row := range d.X {
+		col[i] = row[j]
+	}
+	return col
+}
+
+func shuffleInts(s []int, rng *rand.Rand) {
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// MetaFeatures summarizes a dataset for meta-learning: warm starting
+// (AutoSklearn 2) and representative-dataset clustering (paper §2.5 uses
+// "metadata features, such as the number of features, instances, and
+// classes").
+type MetaFeatures struct {
+	LogRows         float64
+	LogFeatures     float64
+	LogClasses      float64
+	ClassEntropy    float64 // normalized to [0,1]
+	MinorityFrac    float64 // size of smallest present class / rows
+	CategoricalFrac float64
+	MeanAbsSkew     float64 // mean |skewness| over numeric columns
+}
+
+// Meta computes the dataset's meta-features.
+func (d *Dataset) Meta() MetaFeatures {
+	m := MetaFeatures{
+		LogRows:     math.Log(float64(max(d.Rows(), 1))),
+		LogFeatures: math.Log(float64(max(d.Features(), 1))),
+		LogClasses:  math.Log(float64(max(d.Classes, 2))),
+	}
+	counts := d.ClassCounts()
+	total := float64(d.Rows())
+	minority := math.Inf(1)
+	entropy := 0.0
+	present := 0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		present++
+		p := float64(c) / total
+		entropy -= p * math.Log(p)
+		if float64(c) < minority {
+			minority = float64(c)
+		}
+	}
+	if present > 1 {
+		m.ClassEntropy = entropy / math.Log(float64(present))
+	}
+	if total > 0 && !math.IsInf(minority, 1) {
+		m.MinorityFrac = minority / total
+	}
+	if d.Features() > 0 {
+		m.CategoricalFrac = float64(d.NumCategorical()) / float64(d.Features())
+	}
+	numNumeric := 0
+	skewSum := 0.0
+	for j := 0; j < d.Features(); j++ {
+		if d.Kind(j) != Numeric {
+			continue
+		}
+		numNumeric++
+		skewSum += math.Abs(columnSkew(d, j))
+	}
+	if numNumeric > 0 {
+		m.MeanAbsSkew = skewSum / float64(numNumeric)
+	}
+	return m
+}
+
+// Vector returns the meta-features as a fixed-order float vector for
+// clustering and nearest-neighbour lookup.
+func (m MetaFeatures) Vector() []float64 {
+	return []float64{
+		m.LogRows, m.LogFeatures, m.LogClasses,
+		m.ClassEntropy, m.MinorityFrac, m.CategoricalFrac, m.MeanAbsSkew,
+	}
+}
+
+func columnSkew(d *Dataset, j int) float64 {
+	n := float64(d.Rows())
+	if n < 3 {
+		return 0
+	}
+	var mean float64
+	for _, row := range d.X {
+		mean += row[j]
+	}
+	mean /= n
+	var m2, m3 float64
+	for _, row := range d.X {
+		diff := row[j] - mean
+		m2 += diff * diff
+		m3 += diff * diff * diff
+	}
+	m2 /= n
+	m3 /= n
+	if m2 < 1e-12 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}

@@ -1,0 +1,128 @@
+package greenautoml
+
+import (
+	"fmt"
+	"time"
+)
+
+// Priority is the user's stated optimization goal once a meaningful search
+// budget exists (paper Fig. 8, lower branch).
+type Priority int
+
+const (
+	// PriorityPareto asks for Pareto-optimal accuracy/inference-cost
+	// trade-offs.
+	PriorityPareto Priority = iota
+	// PriorityFastInference asks for the cheapest possible inference,
+	// accepting lower accuracy.
+	PriorityFastInference
+	// PriorityAccuracy asks for maximal predictive accuracy regardless
+	// of inference cost.
+	PriorityAccuracy
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityFastInference:
+		return "fast inference"
+	case PriorityAccuracy:
+		return "accuracy"
+	default:
+		return "pareto"
+	}
+}
+
+// Task describes an ML application for the Figure 8 guideline.
+type Task struct {
+	// WeeklyClusterAccess reports whether at least one 28-core-class
+	// machine is available for more than a week of development compute.
+	WeeklyClusterAccess bool
+	// PlannedExecutions is how many times the AutoML system will run on
+	// new datasets (thousands amortize development-stage tuning; the
+	// paper measured the break-even at 885 runs for a 5-minute budget).
+	PlannedExecutions int
+	// SearchBudget is the per-run search time.
+	SearchBudget time.Duration
+	// Classes is the task's class count (TabPFN supports at most 10).
+	Classes int
+	// GPUAvailable reports whether a GPU is available (TabPFN needs one
+	// to be fast).
+	GPUAvailable bool
+	// Priority is the optimization goal for non-trivial budgets.
+	Priority Priority
+}
+
+// Recommendation is the guideline's output.
+type Recommendation struct {
+	// SystemName names the recommended system.
+	SystemName string
+	// Build constructs the recommended system.
+	Build func() System
+	// Rationale explains the decision in the paper's terms.
+	Rationale string
+}
+
+// AmortizationThreshold is the paper's measured break-even point: tuning
+// the AutoML system parameters for a 5-minute budget costs 21 kWh and pays
+// for itself after 885 executions (paper §3.7).
+const AmortizationThreshold = 885
+
+// Recommend implements the paper's Figure 8 flowchart: the guideline for
+// picking the most energy-efficient AutoML solution given the task
+// parameters and requirements.
+func Recommend(t Task) Recommendation {
+	// Branch 1: enough development compute and enough planned executions
+	// to amortize development-stage tuning.
+	if t.WeeklyClusterAccess && t.PlannedExecutions >= AmortizationThreshold {
+		budget := t.SearchBudget
+		if budget <= 0 {
+			budget = 5 * time.Minute
+		}
+		return Recommendation{
+			SystemName: "CAML(tuned)",
+			Build:      func() System { return TunedCAML(budget) },
+			Rationale: fmt.Sprintf(
+				"with development compute and ≥%d planned executions, tuning the AutoML system parameters yields the least energy in both execution and inference",
+				AmortizationThreshold),
+		}
+	}
+
+	// Branch 2: very small search budgets.
+	if t.SearchBudget > 0 && t.SearchBudget < 10*time.Second {
+		if t.Classes > 0 && t.Classes <= 10 && t.GPUAvailable {
+			return Recommendation{
+				SystemName: "TabPFN",
+				Build:      TabPFN,
+				Rationale:  "zero-shot AutoML needs no search; with ≤10 classes and a GPU, TabPFN delivers instantly",
+			}
+		}
+		return Recommendation{
+			SystemName: "CAML",
+			Build:      CAML,
+			Rationale:  "incremental training finds ML pipelines under tiny budgets even on very large datasets",
+		}
+	}
+
+	// Branch 3: a real budget exists — decide by priority.
+	switch t.Priority {
+	case PriorityFastInference:
+		return Recommendation{
+			SystemName: "FLAML",
+			Build:      FLAML,
+			Rationale:  "FLAML was designed for low-cost single models: cheapest inference at the cost of accuracy",
+		}
+	case PriorityAccuracy:
+		return Recommendation{
+			SystemName: "AutoGluon",
+			Build:      AutoGluon,
+			Rationale:  "stacked, bagged ensembling converges to the best predictive performance",
+		}
+	default:
+		return Recommendation{
+			SystemName: "CAML",
+			Build:      CAML,
+			Rationale:  "CAML yields Pareto-optimal trade-offs between predictive performance and inference cost",
+		}
+	}
+}
