@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/automl"
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/metaopt"
 	"repro/internal/openml"
 )
@@ -36,10 +37,23 @@ func main() {
 		csvPath    = flag.String("csv", "", "export the fig3 grid's raw records as CSV to this path")
 		jsonPath   = flag.String("json", "", "export the fig3 grid's raw records as JSON to this path")
 		svgDir     = flag.String("svg-dir", "", "write SVG charts of figures 3-5 into this directory")
+		journal    = flag.String("journal", "", "JSONL checkpoint path for the fig3 grid; an interrupted run resumes from it")
+		faultRate  = flag.Float64("fault-rate", 0, "per-attempt fault-injection probability in [0,1] (0 = off)")
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection stream seed (decisions are order-independent)")
+		memoryGB   = flag.Float64("memory-gb", 0, "machine memory model in GB for simulated OOM kills (0 = off)")
+		retries    = flag.Int("retries", 0, "max Fit attempts per cell (0 = 1, or 3 with faults enabled); retry energy is charged")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Seeds: *seeds}
+	cfg := bench.Config{
+		Seeds: *seeds,
+		Faults: faults.Config{
+			Rate:        *faultRate,
+			Seed:        *faultSeed,
+			MemoryBytes: int64(*memoryGB * 1e9),
+		},
+		Retry: bench.RetryPolicy{MaxAttempts: *retries},
+	}
 	if *quick {
 		cfg.Seeds = 1
 		cfg.Budgets = []time.Duration{10 * time.Second, time.Minute}
@@ -78,19 +92,25 @@ func main() {
 	if *experiment == "all" {
 		ids = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4", "table5", "table6", "table7", "table8", "table9", "winners", "significance"}
 	}
-	if err := run(ids, cfg, meta, *csvPath, *jsonPath, *svgDir); err != nil {
+	if err := run(ids, cfg, meta, *csvPath, *jsonPath, *svgDir, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ids []string, cfg bench.Config, meta metaopt.Options, csvPath, jsonPath, svgDir string) error {
+func run(ids []string, cfg bench.Config, meta metaopt.Options, csvPath, jsonPath, svgDir, journal string) error {
 	// fig3's grid feeds several tables; compute it lazily, once.
 	var fig3 *bench.Fig3Result
+	var fig3Err error
 	needFig3 := func() *bench.Fig3Result {
-		if fig3 == nil {
+		if fig3 == nil && fig3Err == nil {
 			fmt.Fprintln(os.Stderr, "greenbench: running the fig3 grid (feeds fig4, fig7, table4, table6, table7)...")
-			r := bench.Fig3(cfg)
+			r, err := bench.Fig3Resumable(cfg, journal)
+			if err != nil {
+				fig3Err = err
+				fig3 = &bench.Fig3Result{}
+				return fig3
+			}
 			fig3 = &r
 		}
 		return fig3
@@ -151,6 +171,9 @@ func run(ids []string, cfg bench.Config, meta metaopt.Options, csvPath, jsonPath
 			out = bench.Significance(needFig3().Records).Render()
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
+		}
+		if fig3Err != nil {
+			return fig3Err
 		}
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "greenbench: %s done in %s\n", id, time.Since(start).Round(time.Millisecond))

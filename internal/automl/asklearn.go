@@ -48,7 +48,7 @@ func (a *AutoSklearn) MinBudget() time.Duration { return 30 * time.Second }
 // Fit implements System.
 func (a *AutoSklearn) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("asklearn: %w", err)
 	}
 	rng := opts.rng()
 	meter := opts.Meter

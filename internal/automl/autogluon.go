@@ -177,7 +177,7 @@ func stackCandidates(gpu bool) []agCandidate {
 // Fit implements System.
 func (g *AutoGluon) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("autogluon: %w", err)
 	}
 	rng := opts.rng()
 	meter := opts.Meter

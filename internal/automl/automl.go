@@ -205,6 +205,19 @@ func evaluatePipeline(p *pipeline.Pipeline, train, val *tabular.Dataset, meter *
 // singlePredictor wraps a pipeline as the result predictor.
 func singlePredictor(p *pipeline.Pipeline) ensemble.Predictor { return p }
 
+// MajorityResult builds the harness's graceful-degradation fallback: a
+// constant majority-class predictor standing in for a system whose run
+// produced no usable model (AMLB's constant-predictor semantics). The
+// result carries the failing system's name so reports attribute the
+// fallback correctly.
+func MajorityResult(system string, train *tabular.Dataset) *Result {
+	return &Result{
+		System:    system,
+		Predictor: newMajorityPredictor(train),
+		Classes:   train.Classes,
+	}
+}
+
 // majorityPredictor predicts the constant majority class — the fallback
 // when a system cannot produce anything better (e.g. TabPFN beyond its
 // class limit).

@@ -372,3 +372,39 @@ func TestChargeCostCapped(t *testing.T) {
 func mlCost(flops float64) ml.Cost {
 	return ml.Cost{Generic: flops}
 }
+
+// TestChargeCostCappedEdgeCases pins the deadline-kill boundary behaviour:
+// non-positive caps charge nothing, and work whose estimate lands exactly
+// on the cap completes uncut.
+func TestChargeCostCappedEdgeCases(t *testing.T) {
+	meter := energy.NewMeter(hw.XeonGold6132(), 1)
+
+	for _, cap := range []time.Duration{0, -time.Second} {
+		d, truncated := chargeCostCapped(meter, energy.Execution, mlCost(2e6), 0, cap)
+		if !truncated {
+			t.Errorf("cap %v did not truncate", cap)
+		}
+		if d != 0 {
+			t.Errorf("cap %v charged %v, want 0", cap, d)
+		}
+	}
+	if meter.Clock().Now() != 0 {
+		t.Errorf("non-positive caps advanced the clock to %v", meter.Clock().Now())
+	}
+	if meter.Tracker().KWh(energy.Execution) != 0 {
+		t.Error("non-positive caps charged energy")
+	}
+
+	// 2e6 generic FLOPs = 1 virtual second on the Xeon model: a cost whose
+	// estimate equals the cap exactly is not cut off.
+	d, truncated := chargeCostCapped(meter, energy.Execution, mlCost(2e6), 0, time.Second)
+	if truncated {
+		t.Error("cost exactly at the cap was truncated")
+	}
+	if d != time.Second {
+		t.Errorf("charged %v, want exactly 1s", d)
+	}
+	if got := meter.Clock().Now(); got != time.Second {
+		t.Errorf("clock at %v, want 1s", got)
+	}
+}

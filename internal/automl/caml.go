@@ -126,7 +126,7 @@ func (c *CAML) MinBudget() time.Duration { return 0 }
 // Fit implements System.
 func (c *CAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("caml: %w", err)
 	}
 	params := c.Params.normalized()
 	rng := opts.rng()

@@ -1,6 +1,7 @@
 package automl
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/pipeline"
@@ -63,7 +64,7 @@ func lowComplexityConfig(space *pipeline.Space, complexity float64) pipeline.Con
 // Fit implements System.
 func (f *FLAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("flaml: %w", err)
 	}
 	rng := opts.rng()
 	meter := opts.Meter

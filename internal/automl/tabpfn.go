@@ -1,6 +1,7 @@
 package automl
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"sort"
@@ -89,7 +90,7 @@ func (t *TabPFN) normalized() TabPFN {
 // 0.29±0.01s regardless of the requested budget.
 func (t *TabPFN) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tabpfn: %w", err)
 	}
 	cfg := t.normalized()
 	rng := opts.rng()

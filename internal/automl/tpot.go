@@ -1,6 +1,7 @@
 package automl
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/energy"
@@ -48,7 +49,7 @@ type tpotIndividual struct {
 // Fit implements System.
 func (t *TPOT) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tpot: %w", err)
 	}
 	popSize := t.Population
 	if popSize < 4 {
@@ -66,7 +67,7 @@ func (t *TPOT) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	spec := pipeline.FullSpec()
 	space, err := spec.Space()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tpot: %w", err)
 	}
 
 	evaluate := func(cfg pipeline.Config) (tpotIndividual, bool) {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/automl"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/openml"
@@ -44,6 +45,22 @@ type Config struct {
 	Seed uint64
 	// GPUMode sets the execution meters' accelerator state.
 	GPUMode energy.GPUMode
+	// Faults configures deterministic fault injection; the zero value
+	// injects nothing.
+	Faults faults.Config
+	// Retry is the per-cell retry policy.
+	Retry RetryPolicy
+}
+
+// RetryPolicy controls how the harness retries failed cells. Every
+// attempt perturbs the system seed and runs on the same execution meter,
+// so retried virtual time and energy stay charged to the cell — retries
+// cost kWh, which the green accounting must include.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of Fit attempts per cell (1 = no
+	// retries). Zero defaults to 1, or 3 when fault injection is
+	// enabled.
+	MaxAttempts int
 }
 
 // PaperBudgets returns the paper's four search budgets.
@@ -84,6 +101,13 @@ func (c Config) normalized() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Retry.MaxAttempts < 1 {
+		if c.Faults.Enabled() {
+			c.Retry.MaxAttempts = 3
+		} else {
+			c.Retry.MaxAttempts = 1
+		}
+	}
 	return c
 }
 
@@ -106,8 +130,40 @@ type Record struct {
 	InferTimePerInst time.Duration
 	// Evaluated counts pipelines trained during search.
 	Evaluated int
-	// Failed marks runs whose system returned an error.
-	Failed bool
+	// Failure classifies what went wrong during the run (the
+	// internal/faults taxonomy); empty means a clean run. With
+	// faults.MeterDropout the score is valid but the energy readings are
+	// partial; other kinds combined with Fallback mean the fallback
+	// predictor supplied the score and Failure keeps the root cause.
+	Failure faults.Kind `json:",omitempty"`
+	// Fallback reports that the majority-class fallback predictor
+	// produced TestScore after retries were exhausted (AMLB semantics).
+	Fallback bool `json:",omitempty"`
+	// Attempts counts the Fit attempts consumed; values above 1 mean
+	// retries, whose energy is included in ExecKWh.
+	Attempts int `json:",omitempty"`
+}
+
+// Scored reports whether the record carries a usable TestScore: clean
+// runs, fallback-scored runs and meter-dropout runs do; hard failures
+// (no predictor ever produced predictions) do not.
+func (r Record) Scored() bool {
+	return r.Failure == faults.None || r.Failure == faults.MeterDropout || r.Fallback
+}
+
+// EnergyValid reports whether the record's energy measurements are
+// trustworthy — meter dropout loses readings mid-run, so its energy
+// fields undercount.
+func (r Record) EnergyValid() bool { return r.Failure != faults.MeterDropout }
+
+// Kind folds the record into the failure taxonomy the way reports count
+// it: fallback-scored records count as faults.FallbackUsed, everything
+// else as the root-cause kind (empty for clean runs).
+func (r Record) Kind() faults.Kind {
+	if r.Fallback {
+		return faults.FallbackUsed
+	}
+	return r.Failure
 }
 
 // DefaultSystems returns the benchmark's system lineup (paper §2.2),
@@ -129,28 +185,124 @@ func DefaultSystems() []automl.System {
 // the paper (ASKL starts at 30s, TPOT at 1m, TabPFN runs once per
 // budget regardless).
 func RunGrid(systems []automl.System, cfg Config) []Record {
+	records, _ := runGrid(systems, cfg, nil)
+	return records
+}
+
+// runGrid walks the grid, resuming completed cells from the journal (if
+// any) and checkpointing new ones into it. Cells are independent — their
+// RNG streams derive from cell identity, not shared state — so a
+// resumed run replays the remaining cells exactly as an uninterrupted
+// one would.
+func runGrid(systems []automl.System, cfg Config, journal *Journal) ([]Record, error) {
 	cfg = cfg.normalized()
+	inj := faults.New(cfg.Faults)
 	var records []Record
+	emit := func(rec Record) error {
+		if journal != nil {
+			if err := journal.Append(rec); err != nil {
+				return err
+			}
+		}
+		records = append(records, rec)
+		return nil
+	}
 	for di, spec := range cfg.Datasets {
-		ds := openml.Generate(spec, cfg.Scale, cfg.Seed)
+		ds, dsErr := generateDataset(spec, cfg, inj)
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			splitRng := rand.New(rand.NewPCG(cfg.Seed+uint64(seed)*101, uint64(di)))
-			train, test := ds.TrainTestSplit(splitRng)
+			var train, test *tabular.Dataset
+			if dsErr == nil {
+				splitRng := rand.New(rand.NewPCG(cfg.Seed+uint64(seed)*101, uint64(di)))
+				train, test = ds.TrainTestSplit(splitRng)
+			}
 			for _, sys := range systems {
 				for _, budget := range cfg.Budgets {
 					if budget < sys.MinBudget() {
 						continue
 					}
-					records = append(records, runCell(sys, train, test, budget, cfg, uint64(seed)*1009+uint64(di)))
+					cellSeed := uint64(seed)*1009 + uint64(di)
+					if journal != nil {
+						if rec, ok := journal.Lookup(cellID(sys.Name(), spec.Name, budget, cellSeed)); ok {
+							records = append(records, rec)
+							continue
+						}
+					}
+					var rec Record
+					if dsErr != nil {
+						// The dataset never materialized; account every
+						// dependent cell instead of silently shrinking
+						// the grid.
+						rec = Record{
+							System: sys.Name(), Dataset: spec.Name,
+							Budget: budget, Seed: cellSeed,
+							Failure: faults.KindOf(dsErr, faults.DatasetError), Attempts: cfg.Retry.MaxAttempts,
+						}
+					} else {
+						rec = runCell(sys, train, test, budget, cfg, cellSeed, inj)
+					}
+					if err := emit(rec); err != nil {
+						return records, err
+					}
 				}
 			}
 		}
 	}
-	return records
+	return records, nil
 }
 
-// runCell executes one grid cell.
-func runCell(sys automl.System, train, test *tabular.Dataset, budget time.Duration, cfg Config, seed uint64) Record {
+// generateDataset materializes a dataset spec, retrying transient
+// injected generation faults under the cell retry policy.
+func generateDataset(spec openml.Spec, cfg Config, inj *faults.Injector) (*tabular.Dataset, error) {
+	var lastErr error
+	for attempt := 0; attempt < cfg.Retry.MaxAttempts; attempt++ {
+		if err := inj.DatasetFault(spec.Name, cfg.Seed, attempt); err != nil {
+			lastErr = err
+			continue
+		}
+		return openml.Generate(spec, cfg.Scale, cfg.Seed), nil
+	}
+	return nil, lastErr
+}
+
+// safeFit invokes sys.Fit with panic recovery: a crashing trainer is
+// converted into a typed fit-panic error so one cell can never abort the
+// grid.
+func safeFit(sys automl.System, train *tabular.Dataset, opts automl.Options) (res *automl.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			if fe, ok := r.(*faults.Error); ok {
+				err = fe
+				return
+			}
+			err = &faults.Error{Kind: faults.FitPanic, Site: "fit/" + sys.Name(), Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	return sys.Fit(train, opts)
+}
+
+// safePredict invokes res.Predict with panic recovery, converting panics
+// into typed predict-error faults.
+func safePredict(res *automl.Result, x [][]float64, meter *energy.Meter) (pred []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pred = nil
+			if fe, ok := r.(*faults.Error); ok {
+				err = fe
+				return
+			}
+			err = &faults.Error{Kind: faults.PredictError, Site: "predict/" + res.System, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	return res.Predict(x, meter)
+}
+
+// runCell executes one grid cell under the resilience policy: panics
+// become typed errors, failed attempts are retried with perturbed seeds
+// on the same meter (their energy stays charged), and exhausted retries
+// degrade to the majority-class fallback predictor so the cell still
+// yields a score.
+func runCell(sys automl.System, train, test *tabular.Dataset, budget time.Duration, cfg Config, seed uint64, inj *faults.Injector) Record {
 	rec := Record{
 		System:  sys.Name(),
 		Dataset: train.Name,
@@ -159,13 +311,44 @@ func runCell(sys automl.System, train, test *tabular.Dataset, budget time.Durati
 	}
 	execMeter := energy.NewMeter(cfg.Machine, cfg.Cores)
 	execMeter.SetGPUMode(cfg.GPUMode)
-	res, err := sys.Fit(train, automl.Options{Budget: budget, Meter: execMeter, Seed: cfg.Seed*31 + seed})
-	if err != nil {
-		rec.Failed = true
-		return rec
+
+	var res *automl.Result
+	if oom := inj.CheckOOM(train.Name, train.Rows(), train.Features()); oom != nil {
+		// OOM is deterministic in the memory model; retrying cannot
+		// clear it, so the cell degrades immediately.
+		rec.Failure = faults.OOM
+	} else {
+		for attempt := 0; attempt < cfg.Retry.MaxAttempts; attempt++ {
+			rec.Attempts = attempt + 1
+			plan := inj.CellPlan(sys.Name(), train.Name, budget, seed, uint64(attempt))
+			// Attempt 0 keeps the historical seed derivation so
+			// fault-free grids reproduce pre-resilience records.
+			opts := automl.Options{Budget: budget, Meter: execMeter, Seed: cfg.Seed*31 + seed + uint64(attempt)*0x9e37}
+			r, err := safeFit(faults.Wrap(sys, plan), train, opts)
+			if err != nil {
+				rec.Failure = faults.KindOf(err, faults.FitError)
+				continue
+			}
+			res = r
+			rec.Failure = faults.None
+			break
+		}
 	}
-	rec.ExecKWh = res.ExecKWh
-	rec.ExecTime = res.ExecTime
+	// The meter totals cover every attempt: a stage-level failure keeps
+	// the execution measurements, and retry energy is part of the cell's
+	// real cost.
+	rec.ExecKWh = execMeter.Tracker().KWh(energy.Execution)
+	rec.ExecTime = execMeter.Clock().Now()
+	if execMeter.Dropped() && rec.Failure == faults.None {
+		rec.Failure = faults.MeterDropout
+	}
+
+	if res == nil {
+		// Retries exhausted: degrade to the constant majority-class
+		// predictor (AMLB semantics) so the cell still yields a score.
+		res = automl.MajorityResult(sys.Name(), train)
+		rec.Fallback = true
+	}
 	rec.Evaluated = res.Evaluated
 
 	// Inference is measured separately on a single core (per-instance
@@ -179,10 +362,19 @@ func runCell(sys automl.System, train, test *tabular.Dataset, budget time.Durati
 			inferMeter.SetGPUMode(energy.GPUIdle)
 		}
 	}
-	pred, err := res.Predict(test.X, inferMeter)
+	pred, err := safePredict(res, test.X, inferMeter)
 	if err != nil {
-		rec.Failed = true
-		return rec
+		if rec.Failure == faults.None {
+			rec.Failure = faults.KindOf(err, faults.PredictError)
+		}
+		// The execution measurements above survive this stage-level
+		// failure; only the score degrades to the fallback predictor.
+		fb := automl.MajorityResult(sys.Name(), train)
+		pred, err = safePredict(fb, test.X, inferMeter)
+		if err != nil {
+			return rec
+		}
+		rec.Fallback = true
 	}
 	rec.TestScore = metrics.BalancedAccuracy(test.Y, pred, test.Classes)
 	n := float64(len(test.X))
@@ -216,11 +408,47 @@ type CellStats struct {
 	// ExecTime is the mean ± std of the actual execution duration.
 	ExecTime    time.Duration
 	ExecTimeStd time.Duration
-	// Runs counts the non-failed records aggregated.
+	// Runs counts the records whose score entered the aggregation
+	// (clean, fallback-scored and meter-dropout runs).
 	Runs int
+	// Total counts every record of the cell, including hard failures —
+	// failed runs are reported, not silently excluded.
+	Total int
+	// Failures counts records per root-cause failure kind; clean runs
+	// do not appear. Nil when the cell saw no failures.
+	Failures map[faults.Kind]int
+	// Fallbacks counts records scored by the majority-class fallback.
+	Fallbacks int
 }
 
-// Aggregate groups records into per-(system, budget) statistics.
+// FailureRate is the fraction of the cell's records that hit any fault
+// (including those rescued by retries' fallback or with partial energy).
+func (s CellStats) FailureRate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range s.Failures {
+		n += c
+	}
+	return float64(n) / float64(s.Total)
+}
+
+// FallbackRate is the fraction of the cell's records scored by the
+// fallback predictor.
+func (s CellStats) FallbackRate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Fallbacks) / float64(s.Total)
+}
+
+// Aggregate groups records into per-(system, budget) statistics. Failed
+// records are counted into the cell's failure and fallback rates rather
+// than silently dropped; fallback-scored runs contribute their
+// (majority-class) score as the paper's reference harness does, and
+// meter-dropout runs contribute their score but not their partial
+// energy readings.
 func Aggregate(records []Record, rng *rand.Rand) []CellStats {
 	type accum struct {
 		scoreByDataset map[string][]float64
@@ -229,12 +457,12 @@ func Aggregate(records []Record, rng *rand.Rand) []CellStats {
 		inferTimes     []float64
 		execTimes      []float64
 		runs           int
+		total          int
+		fallbacks      int
+		failures       map[faults.Kind]int
 	}
 	cells := make(map[CellKey]*accum)
 	for _, r := range records {
-		if r.Failed {
-			continue
-		}
 		key := CellKey{System: r.System, Budget: r.Budget}
 		a := cells[key]
 		if a == nil {
@@ -244,17 +472,32 @@ func Aggregate(records []Record, rng *rand.Rand) []CellStats {
 			}
 			cells[key] = a
 		}
+		a.total++
+		if r.Failure != faults.None {
+			if a.failures == nil {
+				a.failures = make(map[faults.Kind]int)
+			}
+			a.failures[r.Failure]++
+		}
+		if r.Fallback {
+			a.fallbacks++
+		}
+		if !r.Scored() {
+			continue
+		}
 		a.scoreByDataset[r.Dataset] = append(a.scoreByDataset[r.Dataset], r.TestScore)
-		a.execByDataset[r.Dataset] = append(a.execByDataset[r.Dataset], r.ExecKWh)
-		a.inferPerInst = append(a.inferPerInst, r.InferKWhPerInst)
-		a.inferTimes = append(a.inferTimes, r.InferTimePerInst.Seconds())
-		a.execTimes = append(a.execTimes, r.ExecTime.Seconds())
+		if r.EnergyValid() {
+			a.execByDataset[r.Dataset] = append(a.execByDataset[r.Dataset], r.ExecKWh)
+			a.inferPerInst = append(a.inferPerInst, r.InferKWhPerInst)
+			a.inferTimes = append(a.inferTimes, r.InferTimePerInst.Seconds())
+			a.execTimes = append(a.execTimes, r.ExecTime.Seconds())
+		}
 		a.runs++
 	}
 
 	out := make([]CellStats, 0, len(cells))
 	for key, a := range cells {
-		stats := CellStats{Key: key, Runs: a.runs}
+		stats := CellStats{Key: key, Runs: a.runs, Total: a.total, Failures: a.failures, Fallbacks: a.fallbacks}
 		var perDataset [][]float64
 		for _, runs := range a.scoreByDataset {
 			perDataset = append(perDataset, runs)

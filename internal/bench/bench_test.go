@@ -35,8 +35,11 @@ func TestRunGridCoversCells(t *testing.T) {
 		t.Fatalf("%d records, want 4", len(records))
 	}
 	for _, r := range records {
-		if r.Failed {
-			t.Errorf("%s on %s failed", r.System, r.Dataset)
+		if r.Failure != "" || r.Fallback {
+			t.Errorf("%s on %s failed: %s", r.System, r.Dataset, r.Failure)
+		}
+		if r.Attempts != 1 {
+			t.Errorf("%s on %s consumed %d attempts without faults", r.System, r.Dataset, r.Attempts)
 		}
 		if r.TestScore <= 0 || r.ExecKWh <= 0 || r.InferKWhPerInst <= 0 {
 			t.Errorf("incomplete record %+v", r)
@@ -57,7 +60,7 @@ func TestAggregate(t *testing.T) {
 		{System: "A", Dataset: "d1", Budget: time.Second, TestScore: 0.6, ExecKWh: 1, InferKWhPerInst: 0.1, ExecTime: time.Second},
 		{System: "A", Dataset: "d1", Budget: time.Second, TestScore: 0.8, ExecKWh: 3, InferKWhPerInst: 0.3, ExecTime: 3 * time.Second},
 		{System: "A", Dataset: "d2", Budget: time.Second, TestScore: 1.0, ExecKWh: 2, InferKWhPerInst: 0.2, ExecTime: 2 * time.Second},
-		{System: "A", Dataset: "d1", Budget: time.Second, Failed: true}, // ignored
+		{System: "A", Dataset: "d1", Budget: time.Second, Failure: "fit-panic"}, // not scored
 		{System: "B", Dataset: "d1", Budget: time.Second, TestScore: 0.5, ExecKWh: 5, InferKWhPerInst: 0.5, ExecTime: 5 * time.Second},
 	}
 	stats := Aggregate(records, testRNG(1))
@@ -258,7 +261,7 @@ func TestWinners(t *testing.T) {
 func TestExportRoundTrip(t *testing.T) {
 	records := []Record{
 		{System: "A", Dataset: "d1", Budget: time.Second, Seed: 3, TestScore: 0.5, ExecKWh: 0.01, ExecTime: 2 * time.Second, InferKWhPerInst: 1e-8, Evaluated: 7},
-		{System: "B", Dataset: "d2", Budget: time.Minute, Failed: true},
+		{System: "B", Dataset: "d2", Budget: time.Minute, Failure: "fit-error", Attempts: 2},
 	}
 	var jsonBuf, csvBuf strings.Builder
 	if err := WriteJSON(&jsonBuf, records); err != nil {
@@ -285,8 +288,8 @@ func TestExportRoundTrip(t *testing.T) {
 	if !strings.Contains(lines[1], "A,d1,1,3,0.5") {
 		t.Errorf("csv row %q", lines[1])
 	}
-	if !strings.Contains(lines[2], "true") {
-		t.Errorf("failed flag missing: %q", lines[2])
+	if !strings.Contains(lines[2], "fit-error") {
+		t.Errorf("failure kind missing: %q", lines[2])
 	}
 }
 

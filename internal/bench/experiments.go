@@ -28,10 +28,21 @@ type Fig3Result struct {
 // Fig3 runs the paper's main grid: every system × budget × dataset × seed
 // on the CPU testbed with one core.
 func Fig3(cfg Config) Fig3Result {
+	res, _ := Fig3Resumable(cfg, "")
+	return res
+}
+
+// Fig3Resumable is Fig3 with an optional JSONL run journal: with a
+// non-empty path, completed cells checkpoint as they finish and an
+// interrupted run picks up where it was killed.
+func Fig3Resumable(cfg Config, journalPath string) (Fig3Result, error) {
 	cfg = cfg.normalized()
-	records := RunGrid(DefaultSystems(), cfg)
+	records, err := RunGridResumable(DefaultSystems(), cfg, journalPath)
+	if err != nil {
+		return Fig3Result{}, err
+	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xf163))
-	return Fig3Result{Records: records, Stats: Aggregate(records, rng)}
+	return Fig3Result{Records: records, Stats: Aggregate(records, rng)}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -438,7 +449,7 @@ func Table6(records []Record) Table6Result {
 	oneMin := make(map[key][]float64)
 	fiveMin := make(map[key][]float64)
 	for _, r := range records {
-		if r.Failed {
+		if !r.Scored() {
 			continue
 		}
 		k := key{r.System, r.Dataset}

@@ -18,7 +18,7 @@ func WriteCSV(w io.Writer, records []Record) error {
 		"system", "dataset", "budget_s", "seed",
 		"test_balanced_accuracy", "exec_kwh", "exec_time_s",
 		"infer_kwh_per_instance", "infer_time_s_per_instance",
-		"pipelines_evaluated", "failed",
+		"pipelines_evaluated", "attempts", "failure", "fallback",
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("bench: writing csv header: %w", err)
@@ -35,7 +35,9 @@ func WriteCSV(w io.Writer, records []Record) error {
 			strconv.FormatFloat(r.InferKWhPerInst, 'g', -1, 64),
 			strconv.FormatFloat(r.InferTimePerInst.Seconds(), 'g', -1, 64),
 			strconv.Itoa(r.Evaluated),
-			strconv.FormatBool(r.Failed),
+			strconv.Itoa(r.Attempts),
+			string(r.Failure),
+			strconv.FormatBool(r.Fallback),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("bench: writing csv row: %w", err)

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/automl"
+)
+
+// Journal checkpoints completed grid cells as JSON lines so an
+// interrupted run resumes instead of restarting. The first line is a
+// header binding the journal to a grid fingerprint; every following
+// line is one Record, flushed and synced as soon as its cell completes.
+// A truncated trailing line (the process died mid-write) is discarded on
+// replay.
+type Journal struct {
+	f    *os.File
+	done map[string]Record
+}
+
+type journalHeader struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+const journalVersion = 1
+
+// cellID is the journal key of one grid cell.
+func cellID(system, dataset string, budget time.Duration, seed uint64) string {
+	return fmt.Sprintf("%s|%s|%d|%d", system, dataset, budget, seed)
+}
+
+// Fingerprint digests everything that determines a grid's records —
+// system lineup, datasets, budgets, seeds, scale, machine, fault and
+// retry configuration — so a journal is only ever resumed against the
+// exact grid that produced it.
+func Fingerprint(systems []automl.System, cfg Config) string {
+	cfg = cfg.normalized()
+	h := fnv.New64a()
+	for _, sys := range systems {
+		fmt.Fprintf(h, "sys:%s;", sys.Name())
+	}
+	for _, spec := range cfg.Datasets {
+		fmt.Fprintf(h, "ds:%d/%s;", spec.ID, spec.Name)
+	}
+	for _, b := range cfg.Budgets {
+		fmt.Fprintf(h, "b:%d;", b)
+	}
+	fmt.Fprintf(h, "machine:%s;cores:%d;gpu:%d;", cfg.Machine.Name, cfg.Cores, cfg.GPUMode)
+	fmt.Fprintf(h, "scale:%+v;seeds:%d;seed:%d;", cfg.Scale, cfg.Seeds, cfg.Seed)
+	fmt.Fprintf(h, "faults:%+v;retry:%+v;", cfg.Faults, cfg.Retry)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// OpenJournal opens (or creates) the run journal at path. An existing
+// journal must carry the same fingerprint — resuming against a different
+// grid configuration is an error, not a silent merge.
+func OpenJournal(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bench: opening journal: %w", err)
+	}
+	j := &Journal{f: f, done: make(map[string]Record)}
+	if err := j.replay(fingerprint); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay loads the header and completed records, then positions the
+// write offset after the last intact line.
+func (j *Journal) replay(fingerprint string) error {
+	r := bufio.NewReader(j.f)
+	var offset int64
+
+	headerLine, err := r.ReadBytes('\n')
+	switch {
+	case err == io.EOF && len(headerLine) == 0:
+		// Fresh journal: write the header.
+		hdr, err := json.Marshal(journalHeader{Version: journalVersion, Fingerprint: fingerprint})
+		if err != nil {
+			return fmt.Errorf("bench: encoding journal header: %w", err)
+		}
+		if _, err := j.f.Write(append(hdr, '\n')); err != nil {
+			return fmt.Errorf("bench: writing journal header: %w", err)
+		}
+		return j.f.Sync()
+	case err != nil && err != io.EOF:
+		return fmt.Errorf("bench: reading journal header: %w", err)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(headerLine, &hdr); err != nil {
+		return fmt.Errorf("bench: corrupt journal header: %w", err)
+	}
+	if hdr.Version != journalVersion {
+		return fmt.Errorf("bench: journal version %d, want %d", hdr.Version, journalVersion)
+	}
+	if hdr.Fingerprint != fingerprint {
+		return fmt.Errorf("bench: journal fingerprint %s does not match grid %s — refusing to resume a different configuration", hdr.Fingerprint, fingerprint)
+	}
+	offset = int64(len(headerLine))
+
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A partial trailing line is an interrupted write; the cell
+			// reruns deterministically on resume.
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("bench: reading journal: %w", err)
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil {
+			break // damaged tail: rerun from here
+		}
+		j.done[cellID(rec.System, rec.Dataset, rec.Budget, rec.Seed)] = rec
+		offset += int64(len(line))
+	}
+	if err := j.f.Truncate(offset); err != nil {
+		return fmt.Errorf("bench: truncating damaged journal tail: %w", err)
+	}
+	if _, err := j.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("bench: seeking journal: %w", err)
+	}
+	return nil
+}
+
+// Lookup returns the checkpointed record for a cell, if present.
+func (j *Journal) Lookup(id string) (Record, bool) {
+	rec, ok := j.done[id]
+	return rec, ok
+}
+
+// Len reports the number of checkpointed cells.
+func (j *Journal) Len() int { return len(j.done) }
+
+// Append checkpoints one completed cell, synced to disk so a kill at
+// any instant loses at most the cell in flight.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("bench: encoding journal record: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("bench: appending journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("bench: syncing journal: %w", err)
+	}
+	j.done[cellID(rec.System, rec.Dataset, rec.Budget, rec.Seed)] = rec
+	return nil
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// RunGridResumable is RunGrid with a JSONL journal at path: completed
+// cells are loaded from the journal instead of rerun, and each newly
+// completed cell is checkpointed immediately. A killed run resumed with
+// the same path and configuration produces the same records as an
+// uninterrupted one. An empty path degrades to plain RunGrid.
+func RunGridResumable(systems []automl.System, cfg Config, path string) ([]Record, error) {
+	if path == "" {
+		return RunGrid(systems, cfg), nil
+	}
+	j, err := OpenJournal(path, Fingerprint(systems, cfg))
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	return runGrid(systems, cfg, j)
+}

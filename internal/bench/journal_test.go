@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestResumableMatchesPlainRun(t *testing.T) {
+	cfg := faultCfg(0.3, 4)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	got, err := RunGridResumable(DefaultSystems(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RunGrid(DefaultSystems(), cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("journaled run differs from a plain run")
+	}
+	// A second invocation replays entirely from the journal.
+	again, err := RunGridResumable(DefaultSystems(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Error("fully-journaled rerun differs from the original records")
+	}
+}
+
+// TestResumeAfterKill simulates a run killed mid-grid: the journal is cut
+// down to its header plus a few intact records and a torn partial line.
+// Resuming must reproduce the uninterrupted run's records exactly.
+func TestResumeAfterKill(t *testing.T) {
+	cfg := faultCfg(0.3, 4)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	want, err := RunGridResumable(DefaultSystems(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("journal has only %d lines", len(lines))
+	}
+	// Keep the header and the first four records, then tear the next line
+	// mid-write.
+	torn := strings.Join(lines[:5], "") + lines[5][:len(lines[5])/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := RunGridResumable(DefaultSystems(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("killed-then-resumed run differs from the uninterrupted run")
+	}
+}
+
+func TestJournalRefusesOtherGrid(t *testing.T) {
+	cfg := faultCfg(0.3, 4)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := RunGridResumable(DefaultSystems(), cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seeds = 3
+	_, err := RunGridResumable(DefaultSystems(), other, path)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("resuming a different grid returned %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	cfg := faultCfg(0.3, 4)
+	base := Fingerprint(DefaultSystems(), cfg)
+	if base != Fingerprint(DefaultSystems(), cfg) {
+		t.Error("fingerprint is not deterministic")
+	}
+	altered := cfg
+	altered.Faults.Seed++
+	if Fingerprint(DefaultSystems(), altered) == base {
+		t.Error("fault seed change did not alter the fingerprint")
+	}
+	altered = cfg
+	altered.Retry.MaxAttempts = 7
+	if Fingerprint(DefaultSystems(), altered) == base {
+		t.Error("retry policy change did not alter the fingerprint")
+	}
+	if Fingerprint(DefaultSystems()[:3], cfg) == base {
+		t.Error("system lineup change did not alter the fingerprint")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/automl"
+	"repro/internal/faults"
 )
 
 func newTable(sb *strings.Builder) *tabwriter.Writer {
@@ -20,14 +21,51 @@ func (r Fig3Result) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Figure 3 — search time, balanced accuracy, energy (execution | inference)\n")
 	w := newTable(&sb)
-	fmt.Fprintln(w, "system\tbudget\tbal.acc\t±\texec kWh\tinfer kWh/inst\tactual time")
+	fmt.Fprintln(w, "system\tbudget\tbal.acc\t±\texec kWh\tinfer kWh/inst\tactual time\tfail\tfb")
 	for _, s := range r.Stats {
-		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.6g\t%.4g\t%s\n",
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.6g\t%.4g\t%s\t%.0f%%\t%.0f%%\n",
 			s.Key.System, FormatBudget(s.Key.Budget),
 			s.Score.Mean, s.Score.Std,
-			s.ExecKWh, s.InferKWhPerInst, s.ExecTime.Round(10*time.Millisecond))
+			s.ExecKWh, s.InferKWhPerInst, s.ExecTime.Round(10*time.Millisecond),
+			100*s.FailureRate(), 100*s.FallbackRate())
 	}
 	w.Flush()
+	sb.WriteString(RenderFailureBreakdown(r.Records))
+	return sb.String()
+}
+
+// RenderFailureBreakdown summarizes the records' failure taxonomy — the
+// per-kind counts the paper-style tables fold into rates. It renders
+// nothing when every record is clean.
+func RenderFailureBreakdown(records []Record) string {
+	counts := make(map[faults.Kind]int)
+	fallbacks := 0
+	retried := 0
+	for _, r := range records {
+		if r.Failure != faults.None {
+			counts[r.Failure]++
+		}
+		if r.Fallback {
+			fallbacks++
+		}
+		if r.Attempts > 1 {
+			retried++
+		}
+	}
+	if len(counts) == 0 && fallbacks == 0 {
+		return ""
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "failures (%d records):", len(records))
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, " %s=%d", k, counts[faults.Kind(k)])
+	}
+	fmt.Fprintf(&sb, " %s=%d retried=%d\n", faults.FallbackUsed, fallbacks, retried)
 	return sb.String()
 }
 

@@ -37,7 +37,7 @@ func Significance(records []Record) SignificanceResult {
 	systemsAt := map[time.Duration]map[string]bool{}
 	datasetsAt := map[time.Duration]map[string]bool{}
 	for _, r := range records {
-		if r.Failed {
+		if !r.Scored() {
 			continue
 		}
 		scores[cell{r.Budget, r.System, r.Dataset}] = append(scores[cell{r.Budget, r.System, r.Dataset}], r.TestScore)

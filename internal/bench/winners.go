@@ -37,7 +37,7 @@ func Winners(records []Record) WinnersResult {
 	scores := map[cell][]float64{}
 	budgetSet := map[time.Duration]bool{}
 	for _, r := range records {
-		if r.Failed {
+		if !r.Scored() {
 			continue
 		}
 		key := cell{r.Budget, r.System, r.Dataset}

@@ -168,6 +168,12 @@ type Meter struct {
 	cores    int
 	gpu      GPUMode
 	timeline *Timeline
+
+	// dropoutAt is the virtual instant past which energy readings are
+	// lost (meter-dropout fault); dropped latches once it fires.
+	dropoutAt    time.Duration
+	dropoutArmed bool
+	dropped      bool
 }
 
 // GPUMode is the meter's accelerator state.
@@ -268,7 +274,9 @@ func (m *Meter) Idle(s Stage, d time.Duration) {
 		return
 	}
 	m.clock.Advance(d)
-	m.tracker.AddJoules(s, m.machine.Power(1, m.gpu != GPUOff, false)*d.Seconds())
+	if !m.droppedOut() {
+		m.tracker.AddJoules(s, m.machine.Power(1, m.gpu != GPUOff, false)*d.Seconds())
+	}
 }
 
 func (m *Meter) charge(s Stage, d time.Duration, gpuBusy bool) {
@@ -277,10 +285,39 @@ func (m *Meter) charge(s Stage, d time.Duration, gpuBusy bool) {
 	}
 	m.clock.Advance(d)
 	m.tracker.AddBusy(s, d)
-	m.tracker.AddJoules(s, m.machine.Energy(d, m.cores, m.gpu != GPUOff, gpuBusy))
+	if !m.droppedOut() {
+		m.tracker.AddJoules(s, m.machine.Energy(d, m.cores, m.gpu != GPUOff, gpuBusy))
+	}
 	if m.timeline != nil {
 		m.timeline.record(m.clock.Now(), s, m.tracker)
 	}
+}
+
+// DropoutAfter arranges for the meter's energy readings to be lost once
+// the clock advances d beyond the current instant — the fault model of
+// an energy sampler dying mid-run (the paper's CodeCarbon sampler is a
+// separate process). The clock and busy time keep advancing; joules stop
+// accumulating. The dropout latches: once fired it cannot be re-armed.
+func (m *Meter) DropoutAfter(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.dropoutAt = m.clock.Now() + d
+	m.dropoutArmed = true
+}
+
+// Dropped reports whether a meter dropout has fired.
+func (m *Meter) Dropped() bool { return m.dropped }
+
+// droppedOut latches and reports the dropout state at the current clock.
+func (m *Meter) droppedOut() bool {
+	if m.dropped {
+		return true
+	}
+	if m.dropoutArmed && m.clock.Now() > m.dropoutAt {
+		m.dropped = true
+	}
+	return m.dropped
 }
 
 // NewBudget starts a search-time budget of length d on the meter's clock.

@@ -257,3 +257,46 @@ func TestTimelineDownsamples(t *testing.T) {
 		}
 	}
 }
+
+func TestMeterDropout(t *testing.T) {
+	m := NewMeter(hw.XeonGold6132(), 1)
+	m.Idle(Execution, time.Second)
+	before := m.Tracker().KWh(Execution)
+	if before <= 0 {
+		t.Fatal("idle charged nothing")
+	}
+	if m.Dropped() {
+		t.Fatal("dropout fired without being armed")
+	}
+
+	m.DropoutAfter(500 * time.Millisecond)
+	m.Idle(Execution, time.Second)
+	if !m.Dropped() {
+		t.Error("dropout did not latch after the clock passed the deadline")
+	}
+	if got := m.Tracker().KWh(Execution); got != before {
+		t.Errorf("joules after dropout: %v, want unchanged %v", got, before)
+	}
+	if got := m.Clock().Now(); got != 2*time.Second {
+		t.Errorf("clock stopped at %v, want 2s — time keeps flowing through a dropout", got)
+	}
+
+	// Busy time keeps accumulating: the work happened, only the readings
+	// were lost.
+	busyBefore := m.Tracker().BusyTime(Execution)
+	m.Run(Execution, hw.Work{FLOPs: 2e6})
+	if m.Tracker().BusyTime(Execution) <= busyBefore {
+		t.Error("busy time must keep advancing after dropout")
+	}
+	if got := m.Tracker().KWh(Execution); got != before {
+		t.Errorf("Run charged %v kWh through a dropped meter", got-before)
+	}
+
+	// Negative delays clamp to "from now on".
+	m2 := NewMeter(hw.XeonGold6132(), 1)
+	m2.DropoutAfter(-time.Second)
+	m2.Idle(Execution, time.Millisecond)
+	if m2.Tracker().KWh(Execution) != 0 {
+		t.Error("negative-delay dropout still charged energy")
+	}
+}

@@ -122,3 +122,26 @@ func TestBudgetString(t *testing.T) {
 		t.Error("empty budget string")
 	}
 }
+
+func TestMakespanNonPositiveWorkers(t *testing.T) {
+	durations := []time.Duration{2 * time.Second, 3 * time.Second}
+	// Zero or negative workers degrade to serial execution rather than
+	// dividing by zero or returning nothing.
+	for _, workers := range []int{0, -1, -100} {
+		if got := Makespan(durations, workers); got != 5*time.Second {
+			t.Errorf("workers=%d: makespan %v, want serial 5s", workers, got)
+		}
+	}
+}
+
+func TestMakespanAllNonPositiveDurations(t *testing.T) {
+	durations := []time.Duration{0, -time.Second, -time.Minute}
+	for _, workers := range []int{1, 4} {
+		if got := Makespan(durations, workers); got != 0 {
+			t.Errorf("workers=%d: makespan %v for all-nonpositive tasks, want 0", workers, got)
+		}
+	}
+	if got := Makespan(nil, 4); got != 0 {
+		t.Errorf("makespan of no tasks = %v, want 0", got)
+	}
+}
