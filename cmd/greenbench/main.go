@@ -42,6 +42,7 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection stream seed (decisions are order-independent)")
 		memoryGB   = flag.Float64("memory-gb", 0, "machine memory model in GB for simulated OOM kills (0 = off)")
 		retries    = flag.Int("retries", 0, "max Fit attempts per cell (0 = 1, or 3 with faults enabled); retry energy is charged")
+		workers    = flag.Int("workers", 0, "grid cells run concurrently (0 = NumCPU); output is identical at any worker count")
 	)
 	flag.Parse()
 
@@ -52,7 +53,8 @@ func main() {
 			Seed:        *faultSeed,
 			MemoryBytes: int64(*memoryGB * 1e9),
 		},
-		Retry: bench.RetryPolicy{MaxAttempts: *retries},
+		Retry:   bench.RetryPolicy{MaxAttempts: *retries},
+		Workers: *workers,
 	}
 	if *quick {
 		cfg.Seeds = 1

@@ -12,6 +12,7 @@ package bench
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sort"
 	"time"
 
@@ -50,6 +51,12 @@ type Config struct {
 	Faults faults.Config
 	// Retry is the per-cell retry policy.
 	Retry RetryPolicy
+	// Workers bounds the number of grid cells executed concurrently.
+	// Zero (or negative) defaults to runtime.NumCPU(). Records, exports
+	// and journal resume semantics are identical at every worker count,
+	// so Workers is a pure throughput knob and deliberately not part of
+	// the journal fingerprint.
+	Workers int
 }
 
 // RetryPolicy controls how the harness retries failed cells. Every
@@ -107,6 +114,9 @@ func (c Config) normalized() Config {
 		} else {
 			c.Retry.MaxAttempts = 1
 		}
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.NumCPU()
 	}
 	return c
 }
@@ -189,65 +199,22 @@ func RunGrid(systems []automl.System, cfg Config) []Record {
 	return records
 }
 
-// runGrid walks the grid, resuming completed cells from the journal (if
-// any) and checkpointing new ones into it. Cells are independent — their
-// RNG streams derive from cell identity, not shared state — so a
-// resumed run replays the remaining cells exactly as an uninterrupted
-// one would.
+// runGrid executes the grid: it enumerates every cell (hoisting dataset
+// generation, train/test splits and journal lookups out of the execution
+// path), then runs the cells serially or on a bounded worker pool
+// depending on cfg.Workers. Cells are independent — their RNG streams
+// derive from cell identity, not shared state — so a resumed run (or a
+// parallel one) replays the remaining cells exactly as an uninterrupted
+// serial run would, and the returned records are byte-identical at every
+// worker count.
 func runGrid(systems []automl.System, cfg Config, journal *Journal) ([]Record, error) {
 	cfg = cfg.normalized()
 	inj := faults.New(cfg.Faults)
-	var records []Record
-	emit := func(rec Record) error {
-		if journal != nil {
-			if err := journal.Append(rec); err != nil {
-				return err
-			}
-		}
-		records = append(records, rec)
-		return nil
+	cells := enumerateGrid(systems, cfg, inj, journal)
+	if cfg.Workers == 1 {
+		return runGridSerial(cells, cfg, inj, journal)
 	}
-	for di, spec := range cfg.Datasets {
-		ds, dsErr := generateDataset(spec, cfg, inj)
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			var train, test *tabular.Dataset
-			if dsErr == nil {
-				splitRng := rand.New(rand.NewPCG(cfg.Seed+uint64(seed)*101, uint64(di)))
-				train, test = ds.TrainTestSplit(splitRng)
-			}
-			for _, sys := range systems {
-				for _, budget := range cfg.Budgets {
-					if budget < sys.MinBudget() {
-						continue
-					}
-					cellSeed := uint64(seed)*1009 + uint64(di)
-					if journal != nil {
-						if rec, ok := journal.Lookup(cellID(sys.Name(), spec.Name, budget, cellSeed)); ok {
-							records = append(records, rec)
-							continue
-						}
-					}
-					var rec Record
-					if dsErr != nil {
-						// The dataset never materialized; account every
-						// dependent cell instead of silently shrinking
-						// the grid.
-						rec = Record{
-							System: sys.Name(), Dataset: spec.Name,
-							Budget: budget, Seed: cellSeed,
-							Failure: faults.KindOf(dsErr, faults.DatasetError), Attempts: cfg.Retry.MaxAttempts,
-						}
-					} else {
-						rec = runCell(sys, train, test, budget, cfg, cellSeed, inj)
-					}
-					if err := emit(rec); err != nil {
-						return records, err
-					}
-				}
-			}
-		}
-	}
-	return records, nil
+	return runGridParallel(cells, cfg, inj, journal)
 }
 
 // generateDataset materializes a dataset spec, retrying transient

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/automl"
@@ -17,8 +18,12 @@ import (
 // header binding the journal to a grid fingerprint; every following
 // line is one Record, flushed and synced as soon as its cell completes.
 // A truncated trailing line (the process died mid-write) is discarded on
-// replay.
+// replay. Appends and lookups are safe for concurrent use: parallel grid
+// workers checkpoint cells as they finish, so the on-disk line order may
+// differ from grid order — replay keys records by cell identity, not
+// position, which keeps resume exact regardless of who finished first.
 type Journal struct {
+	mu   sync.Mutex
 	f    *os.File
 	done map[string]Record
 }
@@ -134,20 +139,28 @@ func (j *Journal) replay(fingerprint string) error {
 
 // Lookup returns the checkpointed record for a cell, if present.
 func (j *Journal) Lookup(id string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	rec, ok := j.done[id]
 	return rec, ok
 }
 
 // Len reports the number of checkpointed cells.
-func (j *Journal) Len() int { return len(j.done) }
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
 
 // Append checkpoints one completed cell, synced to disk so a kill at
-// any instant loses at most the cell in flight.
+// any instant loses at most the cells in flight.
 func (j *Journal) Append(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("bench: encoding journal record: %w", err)
 	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("bench: appending journal record: %w", err)
 	}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/automl"
+	"repro/internal/faults"
+	"repro/internal/openml"
+	"repro/internal/tabular"
+)
+
+// gridCell is one enumerated (system × dataset × budget × seed) cell of
+// the benchmark grid, carrying everything a worker needs to execute it:
+// the shared, read-only train/test split (materialized once per
+// (dataset, seed) during enumeration), the cell's identity-derived seed,
+// and — when resuming — the journaled record that makes execution
+// unnecessary.
+type gridCell struct {
+	sys      automl.System
+	spec     openml.Spec
+	budget   time.Duration
+	cellSeed uint64
+	train    *tabular.Dataset
+	test     *tabular.Dataset
+	// dsErr records a dataset that never materialized; every dependent
+	// cell yields a failure record instead of silently shrinking the
+	// grid.
+	dsErr error
+	// cached is the journaled record of an already-completed cell.
+	cached *Record
+}
+
+// enumerateGrid walks the grid in its canonical order and materializes
+// every immutable per-cell input up front: dataset generation and
+// train/test splits happen here, once per dataset and per (dataset,
+// seed), so workers share them read-only and never recompute state that
+// does not depend on the cell's own execution. Every RNG stream involved
+// derives from cell identity (dataset index, seed index, base seed) —
+// never from execution order — which is what lets the cells run in any
+// order, on any number of workers, and still reproduce the serial grid
+// exactly.
+func enumerateGrid(systems []automl.System, cfg Config, inj *faults.Injector, journal *Journal) []gridCell {
+	var cells []gridCell
+	for di, spec := range cfg.Datasets {
+		ds, dsErr := generateDataset(spec, cfg, inj)
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			var train, test *tabular.Dataset
+			if dsErr == nil {
+				splitRng := rand.New(rand.NewPCG(cfg.Seed+uint64(seed)*101, uint64(di)))
+				train, test = ds.TrainTestSplit(splitRng)
+			}
+			for _, sys := range systems {
+				for _, budget := range cfg.Budgets {
+					if budget < sys.MinBudget() {
+						continue
+					}
+					cell := gridCell{
+						sys:      sys,
+						spec:     spec,
+						budget:   budget,
+						cellSeed: uint64(seed)*1009 + uint64(di),
+						train:    train,
+						test:     test,
+						dsErr:    dsErr,
+					}
+					if journal != nil {
+						if rec, ok := journal.Lookup(cellID(sys.Name(), spec.Name, budget, cell.cellSeed)); ok {
+							rec := rec
+							cell.cached = &rec
+						}
+					}
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// runCellTask executes one enumerated cell and returns its record.
+func runCellTask(c gridCell, cfg Config, inj *faults.Injector) Record {
+	if c.dsErr != nil {
+		return Record{
+			System: c.sys.Name(), Dataset: c.spec.Name,
+			Budget: c.budget, Seed: c.cellSeed,
+			Failure: faults.KindOf(c.dsErr, faults.DatasetError), Attempts: cfg.Retry.MaxAttempts,
+		}
+	}
+	return runCell(c.sys, c.train, c.test, c.budget, cfg, c.cellSeed, inj)
+}
+
+// runGridSerial executes the cells one by one in grid order — the
+// historical execution mode, kept as the Workers == 1 path. A journal
+// failure returns the records completed so far alongside the error.
+func runGridSerial(cells []gridCell, cfg Config, inj *faults.Injector, journal *Journal) ([]Record, error) {
+	records := make([]Record, 0, len(cells))
+	for _, c := range cells {
+		if c.cached != nil {
+			records = append(records, *c.cached)
+			continue
+		}
+		rec := runCellTask(c, cfg, inj)
+		if journal != nil {
+			if err := journal.Append(rec); err != nil {
+				return records, err
+			}
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// runGridParallel executes the cells on a bounded worker pool. Each cell
+// is independent — its RNG streams derive from cell identity, its meters
+// are private, the shared datasets are read-only and the fault injector
+// is pure — so workers need no coordination beyond the journal mutex.
+// Results land in a slice indexed by enumeration order, which makes the
+// returned records (and therefore every export and figure) byte-identical
+// to a serial run at any worker count; only the journal's on-disk line
+// order varies, and resume replays it by cell identity, not position.
+func runGridParallel(cells []gridCell, cfg Config, inj *faults.Injector, journal *Journal) ([]Record, error) {
+	records := make([]Record, len(cells))
+	work := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+
+	workers := cfg.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				if failed.Load() {
+					continue // drain remaining work after a failure
+				}
+				rec := runCellTask(cells[ci], cfg, inj)
+				if journal != nil {
+					if err := journal.Append(rec); err != nil {
+						fail(err)
+						continue
+					}
+				}
+				records[ci] = rec
+			}
+		}()
+	}
+	for ci := range cells {
+		if c := cells[ci]; c.cached != nil {
+			records[ci] = *c.cached
+			continue
+		}
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return records, nil
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/openml"
+)
+
+// withWorkers returns cfg pinned to a worker count.
+func withWorkers(cfg Config, n int) Config {
+	cfg.Workers = n
+	return cfg
+}
+
+// TestParallelGridIsByteIdentical is the scheduler's determinism
+// contract: the records — and therefore the CSV and JSON exports built
+// from them — must be byte-identical at every worker count, for clean
+// and fault-injected grids alike.
+func TestParallelGridIsByteIdentical(t *testing.T) {
+	configs := map[string]Config{
+		"clean": {
+			Datasets: openml.Suite()[:3],
+			Budgets:  []time.Duration{10 * time.Second, time.Minute},
+			Seeds:    2,
+		},
+		"faults": faultCfg(0.3, 4),
+	}
+	counts := []int{1, 4, runtime.NumCPU()}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			var wantCSV, wantJSON []byte
+			var want []Record
+			for _, n := range counts {
+				records := RunGrid(DefaultSystems(), withWorkers(cfg, n))
+				var csv, js bytes.Buffer
+				if err := WriteCSV(&csv, records); err != nil {
+					t.Fatal(err)
+				}
+				if err := WriteJSON(&js, records); err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want, wantCSV, wantJSON = records, csv.Bytes(), js.Bytes()
+					continue
+				}
+				if !reflect.DeepEqual(records, want) {
+					t.Fatalf("workers=%d records differ from workers=%d", n, counts[0])
+				}
+				if !bytes.Equal(csv.Bytes(), wantCSV) {
+					t.Fatalf("workers=%d CSV export differs from workers=%d", n, counts[0])
+				}
+				if !bytes.Equal(js.Bytes(), wantJSON) {
+					t.Fatalf("workers=%d JSON export differs from workers=%d", n, counts[0])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelResumeAfterKill kills a parallel run mid-grid (the journal
+// is cut to a few intact records plus a torn line) and resumes it with a
+// different worker count. The resumed records must match an
+// uninterrupted serial run exactly: the journal's out-of-order appends
+// replay by cell identity, not by line position.
+func TestParallelResumeAfterKill(t *testing.T) {
+	cfg := faultCfg(0.3, 4)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	want, err := RunGridResumable(DefaultSystems(), withWorkers(cfg, 1), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("journal has only %d lines", len(lines))
+	}
+	torn := strings.Join(lines[:5], "") + lines[5][:len(lines[5])/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := RunGridResumable(DefaultSystems(), withWorkers(cfg, 4), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("parallel resume differs from the uninterrupted serial run")
+	}
+
+	// The journal now checkpoints every cell; a fresh resume at yet
+	// another worker count replays it without executing anything.
+	again, err := RunGridResumable(DefaultSystems(), withWorkers(cfg, 3), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Error("fully-journaled parallel rerun differs from the original records")
+	}
+}
+
+// TestWorkersNotInFingerprint pins the design decision that the worker
+// count is a throughput knob, not part of the grid's identity: a journal
+// written at one count must resume at any other.
+func TestWorkersNotInFingerprint(t *testing.T) {
+	cfg := faultCfg(0.3, 4)
+	base := Fingerprint(DefaultSystems(), withWorkers(cfg, 1))
+	for _, n := range []int{2, 8, 0} {
+		if Fingerprint(DefaultSystems(), withWorkers(cfg, n)) != base {
+			t.Fatalf("workers=%d changed the journal fingerprint", n)
+		}
+	}
+}

@@ -56,6 +56,7 @@ func (a *AdaBoost) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 	}
 	var cost Cost
 	cum := make([]float64, n)
+	idx := make([]int, n)
 	for round := 0; round < p.Rounds; round++ {
 		// Weighted resample (cheap stand-in for weighted impurity).
 		var total float64
@@ -63,7 +64,6 @@ func (a *AdaBoost) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 			total += w
 			cum[i] = total
 		}
-		idx := make([]int, n)
 		for i := range idx {
 			u := rng.Float64() * total
 			lo, hi := 0, n-1

@@ -51,12 +51,30 @@ func (f *ForestClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error
 	f.classes = ds.Classes
 	f.trees = make([]*TreeClassifier, 0, p.Trees)
 	var cost Cost
+	// One bootstrap view is shared across trees (same RNG draws as
+	// ds.Bootstrap): the tree kernel copies rows into its column cache, so
+	// the view can be overwritten for the next tree.
+	var boot *tabular.Dataset
+	if p.Bootstrap {
+		boot = &tabular.Dataset{
+			Name:    ds.Name,
+			X:       make([][]float64, ds.Rows()),
+			Y:       make([]int, ds.Rows()),
+			Kinds:   ds.Kinds,
+			Classes: ds.Classes,
+		}
+	}
 	for i := 0; i < p.Trees; i++ {
 		tree := NewTreeClassifier(p.Tree)
 		data := ds
 		if p.Bootstrap {
-			data = ds.Bootstrap(rng)
+			for j := range boot.X {
+				r := rng.IntN(ds.Rows())
+				boot.X[j] = ds.X[r]
+				boot.Y[j] = ds.Y[r]
+			}
 			cost.Generic += float64(ds.Rows())
+			data = boot
 		}
 		c, err := tree.Fit(data, rng)
 		if err != nil {
@@ -141,18 +159,26 @@ func (f *ForestRegressor) FitReg(x [][]float64, y []float64, rng *rand.Rand) (Co
 	p := f.Params.normalized(len(x[0]))
 	f.trees = make([]*TreeRegressor, 0, p.Trees)
 	var cost Cost
+	// Bootstrap resample buffers are shared across trees: the tree kernel
+	// copies what it needs into its column cache, so each tree can
+	// overwrite them for the next draw.
+	var bx [][]float64
+	var by []float64
+	if p.Bootstrap {
+		bx = make([][]float64, len(x))
+		by = make([]float64, len(y))
+	}
 	for i := 0; i < p.Trees; i++ {
 		tree := NewTreeRegressor(p.Tree)
 		xs, ys := x, y
 		if p.Bootstrap {
-			xs = make([][]float64, len(x))
-			ys = make([]float64, len(y))
-			for j := range xs {
+			for j := range bx {
 				r := rng.IntN(len(x))
-				xs[j] = x[r]
-				ys[j] = y[r]
+				bx[j] = x[r]
+				by[j] = y[r]
 			}
 			cost.Generic += float64(len(x))
+			xs, ys = bx, by
 		}
 		c, err := tree.FitReg(xs, ys, rng)
 		if err != nil {

@@ -67,11 +67,22 @@ type treeNode struct {
 }
 
 // treeCore is the shared CART engine for classification and regression.
+//
+// The fit path is allocation-free on a per-node basis: features live in a
+// pooled column-major cache, node sample indices occupy ranges of one
+// shared buffer that split partitioning rearranges in place, and split
+// scoring works off presorted per-feature index lists (built lazily) or a
+// reusable sort scratch. The rewrite is bit-compatible with the original
+// per-split sort.Slice kernel: identical trees, identical RNG consumption
+// and identical Cost, so the virtual-clock energy accounting of every
+// consumer (forests, AdaBoost, gradient boosting, TPOT pipelines, the BO
+// surrogate) is unchanged.
 type treeCore struct {
 	params  TreeParams
 	classes int // 0 for regression
 	nodes   []treeNode
 	cost    Cost
+	scratch *treeScratch // non-nil only while fit runs
 }
 
 type treeTask struct {
@@ -94,18 +105,31 @@ func (tc *treeCore) fit(task treeTask, rng *rand.Rand) error {
 	tc.nodes = tc.nodes[:0]
 	tc.cost = Cost{}
 
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	s := getTreeScratch(n, d, max(tc.classes, 1))
+	tc.scratch = s
+	defer func() {
+		tc.scratch = nil
+		putTreeScratch(s)
+	}()
+
+	for i, row := range task.x {
+		for f := 0; f < d; f++ {
+			s.cols[f*n+i] = row[f]
+		}
 	}
-	tc.build(task, idx, 0, rng)
+	for i := range s.idx {
+		s.idx[i] = int32(i)
+	}
+	tc.build(task, 0, n, 0, rng)
 	return nil
 }
 
-// build grows the subtree for the given sample indices and returns the node
-// index.
-func (tc *treeCore) build(task treeTask, idx []int, depth int, rng *rand.Rand) int32 {
-	m := len(idx)
+// build grows the subtree over the index range scratch.idx[lo:hi) and
+// returns the node index.
+func (tc *treeCore) build(task treeTask, lo, hi, depth int, rng *rand.Rand) int32 {
+	s := tc.scratch
+	idx := s.idx[lo:hi]
+	m := hi - lo
 	p := tc.params
 
 	node := treeNode{feature: -1, depth: depth}
@@ -140,29 +164,40 @@ func (tc *treeCore) build(task treeTask, idx []int, depth int, rng *rand.Rand) i
 		return tc.push(node)
 	}
 
-	feature, threshold, ok := tc.findSplit(task, idx, rng)
+	feature, threshold, ok := tc.findSplit(task, lo, hi, rng)
 	if !ok {
 		return tc.push(node)
 	}
 
-	var leftIdx, rightIdx []int
-	for _, i := range idx {
-		if task.x[i][feature] <= threshold {
-			leftIdx = append(leftIdx, i)
+	// Stable in-place partition of the shared index buffer: left-going
+	// samples compact forward, right-going ones spill to scratch and are
+	// copied back behind them. Stability keeps every node's index order
+	// equal to the historical append-based partition, which leaf
+	// statistics' floating-point accumulation order depends on.
+	col := s.col(feature)
+	nl := lo
+	nr := 0
+	for k := lo; k < hi; k++ {
+		i := s.idx[k]
+		if col[i] <= threshold {
+			s.idx[nl] = i
+			nl++
 		} else {
-			rightIdx = append(rightIdx, i)
+			s.part[nr] = i
+			nr++
 		}
 	}
+	copy(s.idx[nl:hi], s.part[:nr])
 	tc.cost.Tree += float64(m)
-	if len(leftIdx) < p.MinSamplesLeaf || len(rightIdx) < p.MinSamplesLeaf {
+	if nl-lo < p.MinSamplesLeaf || nr < p.MinSamplesLeaf {
 		return tc.push(node)
 	}
 
 	node.feature = feature
 	node.threshold = threshold
 	self := tc.push(node)
-	left := tc.build(task, leftIdx, depth+1, rng)
-	right := tc.build(task, rightIdx, depth+1, rng)
+	left := tc.build(task, lo, nl, depth+1, rng)
+	right := tc.build(task, nl, hi, depth+1, rng)
 	tc.nodes[self].left = left
 	tc.nodes[self].right = right
 	return self
@@ -175,8 +210,9 @@ func (tc *treeCore) push(n treeNode) int32 {
 
 // findSplit searches for the best (feature, threshold) over a random subset
 // of features.
-func (tc *treeCore) findSplit(task treeTask, idx []int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
-	d := len(task.x[0])
+func (tc *treeCore) findSplit(task treeTask, lo, hi int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
+	s := tc.scratch
+	d := s.d
 	tryCount := int(math.Ceil(tc.params.MaxFeatures * float64(d)))
 	if tryCount < 1 {
 		tryCount = 1
@@ -184,28 +220,35 @@ func (tc *treeCore) findSplit(task treeTask, idx []int, rng *rand.Rand) (feature
 	if tryCount > d {
 		tryCount = d
 	}
-	var features []int
-	if tryCount == d {
-		features = make([]int, d)
-		for j := range features {
-			features[j] = j
+	features := s.perm[:d]
+	for j := range features {
+		features[j] = j
+	}
+	if tryCount < d {
+		// Fisher-Yates over the scratch permutation, drawing exactly as
+		// math/rand/v2's Perm does, so the tried feature subsets — and
+		// therefore the fitted trees — match the historical
+		// rng.Perm(d)[:tryCount] draw for draw without its allocation.
+		for i := d - 1; i > 0; i-- {
+			j := int(rng.Uint64N(uint64(i + 1)))
+			features[i], features[j] = features[j], features[i]
 		}
-	} else {
-		features = rng.Perm(d)[:tryCount]
+		features = features[:tryCount]
 	}
 
+	m := hi - lo
 	bestGain := 0.0
 	ok = false
 	for _, f := range features {
 		var gain, thr float64
 		var found bool
 		if tc.params.RandomThreshold {
-			gain, thr, found = tc.evalRandomThreshold(task, idx, f, rng)
-			tc.cost.Tree += 3 * float64(len(idx))
+			gain, thr, found = tc.evalRandomThreshold(task, lo, hi, f, rng)
+			tc.cost.Tree += 3 * float64(m)
 		} else {
-			gain, thr, found = tc.evalExhaustive(task, idx, f)
-			m := float64(len(idx))
-			tc.cost.Tree += m * (math.Log2(m+2) + float64(max(tc.classes, 1)))
+			gain, thr, found = tc.evalExhaustive(task, lo, hi, f)
+			fm := float64(m)
+			tc.cost.Tree += fm * (math.Log2(fm+2) + float64(max(tc.classes, 1)))
 		}
 		if found && gain > bestGain {
 			bestGain, threshold, feature, ok = gain, thr, f, true
@@ -214,16 +257,65 @@ func (tc *treeCore) findSplit(task treeTask, idx []int, rng *rand.Rand) (feature
 	return feature, threshold, ok
 }
 
+// orderByFeature leaves the node's sample indices sorted by feature f in
+// the order scratch. Two paths produce that order:
+//
+//   - Presorted filter (classification only): scan the lazily built
+//     full-column presorted index list and keep the node's members —
+//     O(n) instead of O(m log m), a win for large nodes. Tie order
+//     differs from the historical per-node sort, which is provably
+//     irrelevant for classification: class counts are integer-valued (so
+//     accumulation order cannot change them) and gains are evaluated only
+//     at boundaries between distinct feature values, where the cumulative
+//     counts depend on the sample set alone.
+//
+//   - Direct pdqsort on the node's indices, bit-compatible with the
+//     historical sort.Slice call (see colSorter). Regression always takes
+//     this path: its prefix sums accumulate floats in sorted order, so
+//     tie order changes the bits of candidate gains — silently diverging
+//     from the classification kernel is exactly what the shared scratch
+//     path must avoid.
+func (tc *treeCore) orderByFeature(lo, hi, f int) []int32 {
+	s := tc.scratch
+	m := hi - lo
+	order := s.order[:m]
+	if tc.classes > 0 && m*ceilLog2(m) > s.n {
+		sorted := s.ensureSorted(f)
+		for _, i := range s.idx[lo:hi] {
+			s.inNode[i] = true
+		}
+		k := 0
+		for _, i := range sorted {
+			if s.inNode[i] {
+				order[k] = i
+				k++
+			}
+		}
+		for _, i := range s.idx[lo:hi] {
+			s.inNode[i] = false
+		}
+		return order
+	}
+	copy(order, s.idx[lo:hi])
+	s.sorter.col, s.sorter.order = s.col(f), order
+	sort.Sort(&s.sorter)
+	return order
+}
+
 // evalExhaustive sorts the samples by feature f and scans every split
 // point, returning the best impurity decrease.
-func (tc *treeCore) evalExhaustive(task treeTask, idx []int, f int) (gain, threshold float64, ok bool) {
-	m := len(idx)
-	order := append([]int(nil), idx...)
-	sort.Slice(order, func(a, b int) bool { return task.x[order[a]][f] < task.x[order[b]][f] })
+func (tc *treeCore) evalExhaustive(task treeTask, lo, hi, f int) (gain, threshold float64, ok bool) {
+	s := tc.scratch
+	m := hi - lo
+	col := s.col(f)
+	order := tc.orderByFeature(lo, hi, f)
 
 	if tc.classes > 0 {
-		left := make([]float64, tc.classes)
-		right := make([]float64, tc.classes)
+		left := s.left[:tc.classes]
+		right := s.right[:tc.classes]
+		for c := range left {
+			left[c], right[c] = 0, 0
+		}
 		for _, i := range order {
 			right[task.y[i]]++
 		}
@@ -235,7 +327,7 @@ func (tc *treeCore) evalExhaustive(task treeTask, idx []int, f int) (gain, thres
 			c := task.y[order[pos-1]]
 			left[c]++
 			right[c]--
-			v0, v1 := task.x[order[pos-1]][f], task.x[order[pos]][f]
+			v0, v1 := col[order[pos-1]], col[order[pos]]
 			if v0 == v1 {
 				continue
 			}
@@ -268,7 +360,7 @@ func (tc *treeCore) evalExhaustive(task treeTask, idx []int, f int) (gain, thres
 		sumSqL += t * t
 		sumRpos := sumR - sumL
 		sumSqRpos := sumSqR - sumSqL
-		v0, v1 := task.x[order[pos-1]][f], task.x[order[pos]][f]
+		v0, v1 := col[order[pos-1]], col[order[pos]]
 		if v0 == v1 {
 			continue
 		}
@@ -287,29 +379,35 @@ func (tc *treeCore) evalExhaustive(task treeTask, idx []int, f int) (gain, thres
 
 // evalRandomThreshold draws a uniform threshold between the column's min
 // and max (extra-trees style) and scores that single split.
-func (tc *treeCore) evalRandomThreshold(task treeTask, idx []int, f int, rng *rand.Rand) (gain, threshold float64, ok bool) {
-	lo, hi := math.Inf(1), math.Inf(-1)
+func (tc *treeCore) evalRandomThreshold(task treeTask, lo, hi, f int, rng *rand.Rand) (gain, threshold float64, ok bool) {
+	s := tc.scratch
+	col := s.col(f)
+	idx := s.idx[lo:hi]
+	vlo, vhi := math.Inf(1), math.Inf(-1)
 	for _, i := range idx {
-		v := task.x[i][f]
-		if v < lo {
-			lo = v
+		v := col[i]
+		if v < vlo {
+			vlo = v
 		}
-		if v > hi {
-			hi = v
+		if v > vhi {
+			vhi = v
 		}
 	}
-	if hi <= lo {
+	if vhi <= vlo {
 		return 0, 0, false
 	}
-	thr := lo + rng.Float64()*(hi-lo)
+	thr := vlo + rng.Float64()*(vhi-vlo)
 	m := float64(len(idx))
 
 	if tc.classes > 0 {
-		left := make([]float64, tc.classes)
-		right := make([]float64, tc.classes)
+		left := s.left[:tc.classes]
+		right := s.right[:tc.classes]
+		for c := range left {
+			left[c], right[c] = 0, 0
+		}
 		var nl float64
 		for _, i := range idx {
-			if task.x[i][f] <= thr {
+			if col[i] <= thr {
 				left[task.y[i]]++
 				nl++
 			} else {
@@ -320,7 +418,7 @@ func (tc *treeCore) evalRandomThreshold(task treeTask, idx []int, f int, rng *ra
 		if nl == 0 || nr == 0 {
 			return 0, 0, false
 		}
-		all := make([]float64, tc.classes)
+		all := s.all[:tc.classes]
 		for c := range all {
 			all[c] = left[c] + right[c]
 		}
@@ -331,7 +429,7 @@ func (tc *treeCore) evalRandomThreshold(task treeTask, idx []int, f int, rng *ra
 	var sumL, sumSqL, sumR, sumSqR, nl float64
 	for _, i := range idx {
 		t := task.t[i]
-		if task.x[i][f] <= thr {
+		if col[i] <= thr {
 			sumL += t
 			sumSqL += t * t
 			nl++

@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/tabular"
+)
+
+// benchDataset builds a deterministic classification dataset with a mix of
+// continuous and low-cardinality (tie-heavy) features, the shape the grid's
+// tree fits actually see.
+func benchDataset(n, d, classes int, seed uint64) *tabular.Dataset {
+	r := rand.New(rand.NewPCG(seed, 0xbe))
+	ds := &tabular.Dataset{Name: "bench", Classes: classes}
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			if j%3 == 2 {
+				// Low-cardinality column: exercises tie handling.
+				row[j] = float64(r.IntN(5))
+			} else {
+				row[j] = r.NormFloat64() + float64(i%classes)
+			}
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, i%classes)
+	}
+	return ds
+}
+
+func benchRegTargets(ds *tabular.Dataset) []float64 {
+	y := make([]float64, len(ds.X))
+	for i, row := range ds.X {
+		y[i] = row[0] + 0.5*row[1%len(row)]
+	}
+	return y
+}
+
+// BenchmarkTreeCoreFit measures the hot CART kernel: one deep
+// classification tree over all features, the workload underneath every
+// forest, AdaBoost and TPOT pipeline in the grid.
+func BenchmarkTreeCoreFit(b *testing.B) {
+	ds := benchDataset(900, 20, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := treeCore{params: TreeParams{MaxDepth: 16}, classes: ds.Classes}
+		if err := tc.fit(treeTask{x: ds.X, y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeCoreFitSubset measures the forest configuration: feature
+// subsetting per split (sqrt(d) convention).
+func BenchmarkTreeCoreFitSubset(b *testing.B) {
+	ds := benchDataset(900, 20, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := treeCore{params: TreeParams{MaxDepth: 16, MaxFeatures: 0.25}, classes: ds.Classes}
+		if err := tc.fit(treeTask{x: ds.X, y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeCoreFitRegression measures the regression kernel (gradient
+// boosting's weak learner and the BO surrogate).
+func BenchmarkTreeCoreFitRegression(b *testing.B) {
+	ds := benchDataset(900, 20, 4, 1)
+	y := benchRegTargets(ds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := treeCore{params: TreeParams{MaxDepth: 16}}
+		if err := tc.fit(treeTask{x: ds.X, t: y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeCoreFitRandomThreshold measures the extra-trees split path.
+func BenchmarkTreeCoreFitRandomThreshold(b *testing.B) {
+	ds := benchDataset(900, 20, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc := treeCore{params: TreeParams{MaxDepth: 16, MaxFeatures: 0.25, RandomThreshold: true}, classes: ds.Classes}
+		if err := tc.fit(treeTask{x: ds.X, y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestFit measures a whole bootstrap forest fit, the dominant
+// model-training workload of the default search spaces.
+func BenchmarkForestFit(b *testing.B) {
+	ds := benchDataset(600, 16, 3, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewForestClassifier(ForestParams{Trees: 20, Bootstrap: true, Tree: TreeParams{MaxDepth: 12}})
+		if _, err := f.Fit(ds, rand.New(rand.NewPCG(9, 0x11))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package ml
+
+// This file preserves the pre-optimization CART kernel verbatim (modulo
+// renames) as a test oracle. The rewritten treeCore must produce
+// bit-identical trees — same node order, same split features and
+// thresholds, same leaf distributions, same Cost — because the virtual
+// clock turns tree shape into measured energy, and grid records must not
+// move when the kernel gets faster.
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+type legacyTreeCore struct {
+	params  TreeParams
+	classes int
+	nodes   []treeNode
+	cost    Cost
+}
+
+func (tc *legacyTreeCore) fit(task treeTask, rng *rand.Rand) error {
+	p := tc.params.normalized()
+	tc.params = p
+	n := len(task.x)
+	if n == 0 {
+		return errors.New("ml: tree fit on empty data")
+	}
+	d := len(task.x[0])
+	if d == 0 {
+		return errors.New("ml: tree fit with zero features")
+	}
+	tc.nodes = tc.nodes[:0]
+	tc.cost = Cost{}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	tc.build(task, idx, 0, rng)
+	return nil
+}
+
+func (tc *legacyTreeCore) build(task treeTask, idx []int, depth int, rng *rand.Rand) int32 {
+	m := len(idx)
+	p := tc.params
+
+	node := treeNode{feature: -1, depth: depth}
+	pure := false
+	if tc.classes > 0 {
+		counts := make([]float64, tc.classes)
+		for _, i := range idx {
+			counts[task.y[i]]++
+		}
+		nonzero := 0
+		for _, c := range counts {
+			if c > 0 {
+				nonzero++
+			}
+		}
+		pure = nonzero <= 1
+		for i := range counts {
+			counts[i] /= float64(m)
+		}
+		node.proba = counts
+	} else {
+		var sum float64
+		for _, i := range idx {
+			sum += task.t[i]
+		}
+		node.value = sum / float64(m)
+		pure = m <= 1
+	}
+	tc.cost.Tree += float64(m)
+
+	if pure || depth >= p.MaxDepth || m < p.MinSamplesSplit || m < 2*p.MinSamplesLeaf {
+		return tc.push(node)
+	}
+
+	feature, threshold, ok := tc.findSplit(task, idx, rng)
+	if !ok {
+		return tc.push(node)
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if task.x[i][feature] <= threshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	tc.cost.Tree += float64(m)
+	if len(leftIdx) < p.MinSamplesLeaf || len(rightIdx) < p.MinSamplesLeaf {
+		return tc.push(node)
+	}
+
+	node.feature = feature
+	node.threshold = threshold
+	self := tc.push(node)
+	left := tc.build(task, leftIdx, depth+1, rng)
+	right := tc.build(task, rightIdx, depth+1, rng)
+	tc.nodes[self].left = left
+	tc.nodes[self].right = right
+	return self
+}
+
+func (tc *legacyTreeCore) push(n treeNode) int32 {
+	tc.nodes = append(tc.nodes, n)
+	return int32(len(tc.nodes) - 1)
+}
+
+func (tc *legacyTreeCore) findSplit(task treeTask, idx []int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
+	d := len(task.x[0])
+	tryCount := int(math.Ceil(tc.params.MaxFeatures * float64(d)))
+	if tryCount < 1 {
+		tryCount = 1
+	}
+	if tryCount > d {
+		tryCount = d
+	}
+	var features []int
+	if tryCount == d {
+		features = make([]int, d)
+		for j := range features {
+			features[j] = j
+		}
+	} else {
+		features = rng.Perm(d)[:tryCount]
+	}
+
+	bestGain := 0.0
+	ok = false
+	for _, f := range features {
+		var gain, thr float64
+		var found bool
+		if tc.params.RandomThreshold {
+			gain, thr, found = tc.evalRandomThreshold(task, idx, f, rng)
+			tc.cost.Tree += 3 * float64(len(idx))
+		} else {
+			gain, thr, found = tc.evalExhaustive(task, idx, f)
+			m := float64(len(idx))
+			tc.cost.Tree += m * (math.Log2(m+2) + float64(max(tc.classes, 1)))
+		}
+		if found && gain > bestGain {
+			bestGain, threshold, feature, ok = gain, thr, f, true
+		}
+	}
+	return feature, threshold, ok
+}
+
+func (tc *legacyTreeCore) evalExhaustive(task treeTask, idx []int, f int) (gain, threshold float64, ok bool) {
+	m := len(idx)
+	order := append([]int(nil), idx...)
+	sort.Slice(order, func(a, b int) bool { return task.x[order[a]][f] < task.x[order[b]][f] })
+
+	if tc.classes > 0 {
+		left := make([]float64, tc.classes)
+		right := make([]float64, tc.classes)
+		for _, i := range order {
+			right[task.y[i]]++
+		}
+		parent := tc.impurity(right, float64(m))
+		bestGain := 0.0
+		var bestThr float64
+		found := false
+		for pos := 1; pos < m; pos++ {
+			c := task.y[order[pos-1]]
+			left[c]++
+			right[c]--
+			v0, v1 := task.x[order[pos-1]][f], task.x[order[pos]][f]
+			if v0 == v1 {
+				continue
+			}
+			nl, nr := float64(pos), float64(m-pos)
+			g := parent - (nl*tc.impurity(left, nl)+nr*tc.impurity(right, nr))/float64(m)
+			if g > bestGain {
+				bestGain = g
+				bestThr = (v0 + v1) / 2
+				found = true
+			}
+		}
+		return bestGain, bestThr, found
+	}
+
+	var sumR, sumSqR float64
+	for _, i := range order {
+		t := task.t[i]
+		sumR += t
+		sumSqR += t * t
+	}
+	totalVar := sumSqR - sumR*sumR/float64(m)
+	var sumL, sumSqL float64
+	bestGain := 0.0
+	var bestThr float64
+	found := false
+	for pos := 1; pos < m; pos++ {
+		t := task.t[order[pos-1]]
+		sumL += t
+		sumSqL += t * t
+		sumRpos := sumR - sumL
+		sumSqRpos := sumSqR - sumSqL
+		v0, v1 := task.x[order[pos-1]][f], task.x[order[pos]][f]
+		if v0 == v1 {
+			continue
+		}
+		nl, nr := float64(pos), float64(m-pos)
+		sseL := sumSqL - sumL*sumL/nl
+		sseR := sumSqRpos - sumRpos*sumRpos/nr
+		g := totalVar - sseL - sseR
+		if g > bestGain {
+			bestGain = g
+			bestThr = (v0 + v1) / 2
+			found = true
+		}
+	}
+	return bestGain, bestThr, found
+}
+
+func (tc *legacyTreeCore) evalRandomThreshold(task treeTask, idx []int, f int, rng *rand.Rand) (gain, threshold float64, ok bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		v := task.x[i][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		return 0, 0, false
+	}
+	thr := lo + rng.Float64()*(hi-lo)
+	m := float64(len(idx))
+
+	if tc.classes > 0 {
+		left := make([]float64, tc.classes)
+		right := make([]float64, tc.classes)
+		var nl float64
+		for _, i := range idx {
+			if task.x[i][f] <= thr {
+				left[task.y[i]]++
+				nl++
+			} else {
+				right[task.y[i]]++
+			}
+		}
+		nr := m - nl
+		if nl == 0 || nr == 0 {
+			return 0, 0, false
+		}
+		all := make([]float64, tc.classes)
+		for c := range all {
+			all[c] = left[c] + right[c]
+		}
+		g := tc.impurity(all, m) - (nl*tc.impurity(left, nl)+nr*tc.impurity(right, nr))/m
+		return g, thr, g > 0
+	}
+
+	var sumL, sumSqL, sumR, sumSqR, nl float64
+	for _, i := range idx {
+		t := task.t[i]
+		if task.x[i][f] <= thr {
+			sumL += t
+			sumSqL += t * t
+			nl++
+		} else {
+			sumR += t
+			sumSqR += t * t
+		}
+	}
+	nr := m - nl
+	if nl == 0 || nr == 0 {
+		return 0, 0, false
+	}
+	total := sumSqL + sumSqR - (sumL+sumR)*(sumL+sumR)/m
+	sseL := sumSqL - sumL*sumL/nl
+	sseR := sumSqR - sumR*sumR/nr
+	g := total - sseL - sseR
+	return g, thr, g > 0
+}
+
+func (tc *legacyTreeCore) impurity(counts []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	if tc.params.Criterion == Entropy {
+		var h float64
+		for _, c := range counts {
+			if c > 0 {
+				p := c / total
+				h -= p * math.Log2(p)
+			}
+		}
+		return h
+	}
+	var sumSq float64
+	for _, c := range counts {
+		p := c / total
+		sumSq += p * p
+	}
+	return 1 - sumSq
+}

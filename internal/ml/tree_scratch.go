@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// colSorter sorts a node's sample indices by one cached feature column.
+// It is a concrete sort.Interface so sort.Sort runs the standard library's
+// pdqsort without the per-call closure and reflect.Swapper allocations of
+// sort.Slice — and, because both entry points are generated from the same
+// sort template, with the exact same comparison/swap sequence, so the
+// resulting permutation (including tie order) matches the historical
+// kernel's sort.Slice call bit for bit.
+type colSorter struct {
+	col   []float64
+	order []int32
+}
+
+func (s *colSorter) Len() int           { return len(s.order) }
+func (s *colSorter) Less(a, b int) bool { return s.col[s.order[a]] < s.col[s.order[b]] }
+func (s *colSorter) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
+// treeScratch is the reusable working memory of one treeCore.fit: the
+// column-major feature cache, lazily presorted per-feature index lists,
+// the shared node index buffer that split partitioning rearranges in
+// place, and assorted per-split scratch. Instances are pooled so forests,
+// boosting rounds and surrogate fits reuse the same memory instead of
+// re-allocating per tree.
+type treeScratch struct {
+	n, d int
+	// cols is the column-major feature cache: cols[f*n+i] = x[i][f].
+	cols []float64
+	// sorted[f*n:(f+1)*n] lists all n sample indices ordered by feature
+	// f, built lazily on first profitable use; sortedBuilt[f] tracks it.
+	sorted      []int32
+	sortedBuilt []bool
+	// idx is the shared node index buffer: each tree node owns a
+	// contiguous [lo, hi) range, split in place by partitioning.
+	idx []int32
+	// order is the per-split sort/filter scratch, part the partition
+	// spill buffer, inNode the membership mask for presorted filtering.
+	order  []int32
+	part   []int32
+	inNode []bool
+	// perm is the feature-subset permutation scratch.
+	perm []int
+	// left/right/all are class-count scratch for split scoring.
+	left, right, all []float64
+	sorter           colSorter
+}
+
+var treeScratchPool = sync.Pool{New: func() any { return new(treeScratch) }}
+
+// getTreeScratch returns pooled scratch sized for n samples, d features
+// and the given class count (1 for regression).
+func getTreeScratch(n, d, classes int) *treeScratch {
+	s := treeScratchPool.Get().(*treeScratch)
+	s.n, s.d = n, d
+	s.cols = sizedF64(s.cols, n*d)
+	s.sorted = sizedI32(s.sorted, n*d)
+	s.sortedBuilt = sizedBool(s.sortedBuilt, d)
+	for f := range s.sortedBuilt {
+		s.sortedBuilt[f] = false
+	}
+	s.idx = sizedI32(s.idx, n)
+	s.order = sizedI32(s.order, n)
+	s.part = sizedI32(s.part, n)
+	s.inNode = sizedBool(s.inNode, n)
+	for i := range s.inNode {
+		s.inNode[i] = false
+	}
+	s.perm = sizedInt(s.perm, d)
+	s.left = sizedF64(s.left, classes)
+	s.right = sizedF64(s.right, classes)
+	s.all = sizedF64(s.all, classes)
+	return s
+}
+
+func putTreeScratch(s *treeScratch) {
+	s.sorter.col, s.sorter.order = nil, nil
+	treeScratchPool.Put(s)
+}
+
+// col returns the cached column of feature f.
+func (s *treeScratch) col(f int) []float64 { return s.cols[f*s.n : (f+1)*s.n] }
+
+// ensureSorted builds the presorted index list of feature f on first use.
+// The sort is deterministic (pdqsort on a fixed input), so the presorted
+// order — and everything derived from it — replays identically across
+// runs.
+func (s *treeScratch) ensureSorted(f int) []int32 {
+	sorted := s.sorted[f*s.n : (f+1)*s.n]
+	if !s.sortedBuilt[f] {
+		for i := range sorted {
+			sorted[i] = int32(i)
+		}
+		s.sorter.col, s.sorter.order = s.col(f), sorted
+		sort.Sort(&s.sorter)
+		s.sortedBuilt[f] = true
+	}
+	return sorted
+}
+
+func sizedF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func sizedI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func sizedBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func sizedInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// ceilLog2 returns ⌈log₂ m⌉ for m ≥ 1; it prices a comparison sort when
+// choosing between sorting a node directly and filtering the presorted
+// full column.
+func ceilLog2(m int) int {
+	if m <= 1 {
+		return 0
+	}
+	return bits.Len(uint(m - 1))
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Runs the tree-kernel and grid-scheduler benchmarks and writes the
+# results as BENCH_2.json at the repo root.
+#
+# Usage: scripts/bench.sh [-quick]
+#   -quick    single iteration per benchmark (CI smoke mode)
+#
+# Environment:
+#   BENCHTIME   overrides the per-benchmark budget (default 1s, or 1x
+#               with -quick)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+if [ "${1:-}" = "-quick" ]; then
+    BENCHTIME=1x
+fi
+
+OUT=BENCH_2.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "benchmarking tree kernel (internal/ml)..." >&2
+go test -run '^$' -bench 'BenchmarkTreeCore|BenchmarkForestFit' \
+    -benchtime "$BENCHTIME" ./internal/ml/ | tee -a "$RAW" >&2
+
+echo "benchmarking grid scheduler (internal/bench)..." >&2
+go test -run '^$' -bench 'BenchmarkRunGrid|BenchmarkSweepEndToEnd' \
+    -benchtime "$BENCHTIME" ./internal/bench/ | tee -a "$RAW" >&2
+
+# Fold the `go test -bench` lines into a JSON document:
+#   {"benchmarks": [{"name": ..., "iterations": N, "ns_per_op": ...,
+#                    "bytes_per_op": ..., "allocs_per_op": ...}, ...]}
+awk -v benchtime="$BENCHTIME" '
+BEGIN { print "{"; printf "  \"benchtime\": \"%s\",\n", benchtime; print "  \"benchmarks\": [" }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+    if (ns != "") printf ", \"ns_per_op\": %s", ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n  ]"; print "}" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
