@@ -1,0 +1,68 @@
+// Command greenlint runs the project's determinism and energy-
+// accounting static-analysis suite (see internal/greenlint) over the
+// given package patterns and exits nonzero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/greenlint ./...
+//
+// Findings print one per line as "file:line: [check] message". Exit
+// status: 0 clean, 1 findings, 2 the tree could not be loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/greenlint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print type-check warnings and a per-check summary")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: greenlint [-v] [packages]\n\nChecks:\n")
+		for _, a := range greenlint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, warnings, err := greenlint.Run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greenlint:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "greenlint: warning:", w)
+		}
+	}
+	cwd, _ := os.Getwd()
+	counts := make(map[string]int)
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+		counts[f.Check]++
+	}
+	if len(findings) > 0 {
+		if *verbose {
+			for _, a := range greenlint.Analyzers {
+				if counts[a.Name] > 0 {
+					fmt.Fprintf(os.Stderr, "greenlint: %s: %d finding(s)\n", a.Name, counts[a.Name])
+				}
+			}
+		}
+		os.Exit(1)
+	}
+}

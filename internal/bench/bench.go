@@ -462,18 +462,34 @@ func Aggregate(records []Record, rng *rand.Rand) []CellStats {
 		a.runs++
 	}
 
+	// Cells must be processed in sorted key order, not map order: the
+	// bootstrap below draws from the shared rng, so the order cells
+	// consume it — and the order datasets feed each bootstrap — would
+	// otherwise vary run to run and leak into every exported stat.
+	keys := make([]CellKey, 0, len(cells))
+	for key := range cells {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].System != keys[j].System {
+			return keys[i].System < keys[j].System
+		}
+		return keys[i].Budget < keys[j].Budget
+	})
+
 	out := make([]CellStats, 0, len(cells))
-	for key, a := range cells {
+	for _, key := range keys {
+		a := cells[key]
 		stats := CellStats{Key: key, Runs: a.runs, Total: a.total, Failures: a.failures, Fallbacks: a.fallbacks}
-		var perDataset [][]float64
-		for _, runs := range a.scoreByDataset {
-			perDataset = append(perDataset, runs)
+		perDataset := make([][]float64, 0, len(a.scoreByDataset))
+		for _, ds := range sortedDatasets(a.scoreByDataset) {
+			perDataset = append(perDataset, a.scoreByDataset[ds])
 		}
 		stats.Score = metrics.Bootstrap(perDataset, 500, rng)
 
-		var execMeans []float64
-		for _, runs := range a.execByDataset {
-			execMeans = append(execMeans, metrics.MeanStd(runs).Mean)
+		execMeans := make([]float64, 0, len(a.execByDataset))
+		for _, ds := range sortedDatasets(a.execByDataset) {
+			execMeans = append(execMeans, metrics.MeanStd(a.execByDataset[ds]).Mean)
 		}
 		execStats := metrics.MeanStd(execMeans)
 		stats.ExecKWh = execStats.Mean
@@ -485,13 +501,16 @@ func Aggregate(records []Record, rng *rand.Rand) []CellStats {
 		stats.ExecTimeStd = time.Duration(timeStats.Std * float64(time.Second))
 		out = append(out, stats)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Key.System != out[j].Key.System {
-			return out[i].Key.System < out[j].Key.System
-		}
-		return out[i].Key.Budget < out[j].Key.Budget
-	})
 	return out
+}
+
+func sortedDatasets(m map[string][]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // BySystem indexes cell stats by system name.

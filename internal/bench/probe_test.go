@@ -26,8 +26,10 @@ func TestFig3Probe(t *testing.T) {
 		Budgets:  []time.Duration{10 * time.Second, time.Minute},
 		Seeds:    1,
 	}
+	//greenlint:allow wallclock development probe logging real elapsed time, not a measured quantity
 	start := time.Now()
 	res := Fig3(cfg)
+	//greenlint:allow wallclock development probe logging real elapsed time, not a measured quantity
 	t.Logf("wall time: %s for %d records", time.Since(start), len(res.Records))
 	t.Log("\n" + res.Render())
 	t.Log("\n" + Fig4(res.Stats, nil).Render())

@@ -1,0 +1,49 @@
+package greenlint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GlobalRand rejects unseeded randomness in internal/... packages.
+// Every grid cell derives its RNG stream from its own identity
+// (system, dataset, budget, seed), which is what makes records
+// byte-identical at any worker count and resumable mid-grid. math/rand
+// v1 (flagged at the import) and the source-less top-level functions of
+// math/rand/v2 (rand.IntN, rand.Perm, ...) both draw from a process-
+// global generator whose sequence depends on call interleaving across
+// goroutines — determinism poison. Constructors (rand.New, rand.NewPCG,
+// rand.NewChaCha8) are the sanctioned way in.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand v1 and source-less math/rand/v2 top-level functions in internal/...",
+	Run: func(p *Pass) {
+		if !strings.Contains(p.Pkg.Path+"/", "/internal/") {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			for _, spec := range f.Imports {
+				if spec.Path.Value == `"math/rand"` {
+					p.Reportf(spec.Pos(),
+						"import of math/rand (v1); use an explicitly seeded math/rand/v2 stream (rand.New(rand.NewPCG(...)))")
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || p.pkgPathOf(sel.X) != "math/rand/v2" {
+					return true
+				}
+				if !strings.HasPrefix(sel.Sel.Name, "New") {
+					p.Reportf(call.Pos(),
+						"rand.%s draws from the process-global generator; derive an explicitly seeded *rand.Rand from the cell identity instead",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,266 @@
+// Package greenlint is the project's determinism and energy-accounting
+// static-analysis suite. The benchmark harness promises byte-identical
+// records, exports, and figures at any worker count, and bit-identical
+// virtual-clock energy across refactors; that guarantee dies by a
+// thousand nondeterminism cuts — a stray wall-clock read, a global RNG
+// draw, an unsorted map iteration feeding an export. greenlint rejects
+// those cuts at review time instead of waiting for a regression test to
+// notice the bytes changed.
+//
+// Four analyzers run over every package:
+//
+//   - wallclock: no time.Now/time.Since/time.Sleep — measured code must
+//     go through internal/vclock and internal/energy.
+//   - globalrand: in internal/... no math/rand (v1) and no source-less
+//     math/rand/v2 top-level functions — every RNG stream must be
+//     explicitly seeded, because determinism derives from cell identity.
+//   - maporder: no range over a map that emits in iteration order
+//     (writes to an io.Writer, or builds a slice that is never sorted).
+//   - wraperr: no fmt.Errorf that passes an error through %v/%s — use
+//     %w so the errors.Is-based failure taxonomy keeps working.
+//
+// Legitimate exceptions are annotated in the source, never silently
+// exempted:
+//
+//	//greenlint:allow <check> <reason>
+//
+// A directive suppresses findings for <check> on its own line and on
+// the line immediately below it (so it can sit on the offending line or
+// on its own line just above). The reason is mandatory, and a directive
+// naming an unknown check is itself a finding — a typo must not turn
+// into a silent exemption.
+package greenlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit, rendered as "file:line: [check] message".
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Tag renders the check-qualified message without the position — the
+// form golden-test expectations match against.
+func (f Finding) Tag() string {
+	return fmt.Sprintf("[%s] %s", f.Check, f.Msg)
+}
+
+// An Analyzer is one named check over a loaded, type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers is the full suite, in the order findings are attributed.
+var Analyzers = []*Analyzer{Wallclock, GlobalRand, MapOrder, WrapErr}
+
+// DirectiveCheck is the pseudo-check name under which malformed
+// //greenlint: directives are reported.
+const DirectiveCheck = "directive"
+
+func knownCheck(name string) bool {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset    *token.FileSet
+	Pkg     *Package
+	current *Analyzer
+	report  func(Finding)
+}
+
+// Reportf records a finding for the running analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:   p.Fset.Position(pos),
+		Check: p.current.Name,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// pkgPathOf resolves expr to an imported package path when expr is the
+// package-name operand of a selector (e.g. the `time` in time.Now), or
+// "" otherwise. It goes through go/types so import aliases are handled.
+func (p *Pass) pkgPathOf(expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// typeOf is Info.TypeOf, tolerating expressions the checker never saw.
+func (p *Pass) typeOf(expr ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(expr)
+}
+
+// directive is one parsed //greenlint: comment.
+type directive struct {
+	pos    token.Position
+	verb   string // "allow" is the only valid verb today
+	check  string
+	reason string
+}
+
+// parseDirectives extracts every //greenlint: comment in the package.
+// Golden-test fixtures put `// want "..."` expectations on directive
+// lines too, so anything from "// want" onward is not part of the
+// reason.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//greenlint:")
+				if !ok {
+					continue
+				}
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				fields := strings.Fields(text)
+				d := directive{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.verb = fields[0]
+				}
+				if len(fields) > 1 {
+					d.check = fields[1]
+				}
+				if len(fields) > 2 {
+					d.reason = strings.Join(fields[2:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// validateDirectives turns malformed directives into findings: an
+// unknown verb, an unknown check name, or a missing reason must fail
+// the build rather than silently suppress nothing (or the wrong thing).
+func validateDirectives(dirs []directive) []Finding {
+	var out []Finding
+	for _, d := range dirs {
+		switch {
+		case d.verb != "allow":
+			out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
+				Msg: fmt.Sprintf("unknown greenlint directive %q (only //greenlint:allow <check> <reason> is supported)", d.verb)})
+		case !knownCheck(d.check):
+			out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
+				Msg: fmt.Sprintf("unknown check %q in //greenlint:allow (known checks: %s)", d.check, strings.Join(checkNames(), ", "))})
+		case d.reason == "":
+			out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
+				Msg: fmt.Sprintf("//greenlint:allow %s needs a reason — say why this site is exempt", d.check)})
+		}
+	}
+	return out
+}
+
+func checkNames() []string {
+	names := make([]string, len(Analyzers))
+	for i, a := range Analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// suppressed reports whether a well-formed allow directive covers the
+// finding: same file, matching check, on the finding's line or the line
+// directly above it.
+func suppressed(f Finding, dirs []directive) bool {
+	for _, d := range dirs {
+		if d.verb != "allow" || d.check != f.Check || d.reason == "" {
+			continue
+		}
+		if d.pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if d.pos.Line == f.Pos.Line || d.pos.Line+1 == f.Pos.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// LintPackage runs the whole suite over one loaded package and returns
+// the surviving findings (directive errors included, suppressions
+// applied).
+func LintPackage(fset *token.FileSet, pkg *Package) []Finding {
+	var raw []Finding
+	pass := &Pass{Fset: fset, Pkg: pkg, report: func(f Finding) { raw = append(raw, f) }}
+	for _, a := range Analyzers {
+		pass.current = a
+		a.Run(pass)
+	}
+	dirs := parseDirectives(fset, pkg.Files)
+	var out []Finding
+	for _, f := range raw {
+		if !suppressed(f, dirs) {
+			out = append(out, f)
+		}
+	}
+	out = append(out, validateDirectives(dirs)...)
+	return out
+}
+
+// Run loads every package matched by patterns (./...-style wildcards or
+// plain directories) and lints them all. Findings come back sorted by
+// position; loadWarnings carries non-fatal type-check notes.
+func Run(patterns []string) (findings []Finding, loadWarnings []string, err error) {
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pkg := range pkgs {
+		findings = append(findings, LintPackage(fset, pkg)...)
+		for _, terr := range pkg.TypeErrors {
+			loadWarnings = append(loadWarnings, fmt.Sprintf("%s: type-check: %v", pkg.Path, terr))
+		}
+	}
+	SortFindings(findings)
+	return findings, loadWarnings, nil
+}
+
+// SortFindings orders findings by file, line, column, then check, so
+// output is stable — the linter holds itself to the invariant it
+// enforces.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}

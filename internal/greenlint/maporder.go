@@ -1,0 +1,230 @@
+package greenlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder rejects `for range` over a map that lets Go's randomized
+// iteration order escape: writing to an io.Writer inside the loop, or
+// appending to a slice that is never subsequently sorted. Either one
+// silently breaks byte-identical emission — the exact class of bug that
+// would corrupt grid-order output in internal/bench's export and
+// render paths. The collect-keys-then-sort idiom stays legal: an
+// append whose target is sorted later in the same function is not
+// flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid map iteration whose order leaks into slices or writers without a sort",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			var walk func(n ast.Node, blocks []*ast.BlockStmt)
+			walk = func(n ast.Node, blocks []*ast.BlockStmt) {
+				if n == nil {
+					return
+				}
+				if rs, ok := n.(*ast.RangeStmt); ok && p.isMapType(rs.X) {
+					p.checkMapRange(rs, blocks)
+				}
+				if b, ok := n.(*ast.BlockStmt); ok {
+					blocks = append(blocks, b)
+				}
+				for _, child := range childNodes(n) {
+					walk(child, blocks)
+				}
+			}
+			walk(f, nil)
+		}
+	},
+}
+
+func (p *Pass) isMapType(expr ast.Expr) bool {
+	t := p.typeOf(expr)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body. blocks is the stack of
+// enclosing blocks, innermost last — the scope searched for a
+// subsequent sort of any slice the body builds.
+func (p *Pass) checkMapRange(rs *ast.RangeStmt, blocks []*ast.BlockStmt) {
+	type appendSite struct {
+		obj *types.Var
+		pos token.Pos
+	}
+	var appends []appendSite
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure defined in the body runs later (or not at
+			// all); its writes are not iteration-order emissions.
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isAppendCall(rhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := p.Pkg.Info.ObjectOf(id).(*types.Var)
+				if !ok || v.Pos() == token.NoPos {
+					continue
+				}
+				if v.Pos() >= rs.Pos() && v.Pos() < rs.End() {
+					continue // loop-local scratch cannot outlive the iteration
+				}
+				appends = append(appends, appendSite{obj: v, pos: n.Pos()})
+			}
+		case *ast.CallExpr:
+			if target := p.writerTarget(n); target != "" {
+				p.Reportf(n.Pos(),
+					"write to %s inside range over a map emits in nondeterministic iteration order; iterate sorted keys instead", target)
+			}
+		}
+		return true
+	})
+	for _, a := range appends {
+		if p.sortedAfter(rs, blocks, a.obj) {
+			continue
+		}
+		p.Reportf(a.pos,
+			"slice %q is built from a map range and never sorted; sort it (or iterate sorted keys) before the order can leak into output", a.obj.Name())
+	}
+}
+
+func isAppendCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// writerTarget reports what a call writes to, or "" when it does not
+// write: an argument or method receiver implementing io.Writer (covers
+// fmt.Fprintf, strings.Builder, tabwriter), or a method named Write*
+// on any receiver (covers csv.Writer, whose Write takes []string).
+func (p *Pass) writerTarget(call *ast.CallExpr) string {
+	for _, arg := range call.Args {
+		if p.implementsWriter(p.typeOf(arg)) {
+			return "io.Writer argument " + exprString(arg)
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && p.pkgPathOf(sel.X) == "" {
+		recv := exprString(sel.X)
+		if p.implementsWriter(p.typeOf(sel.X)) {
+			return recv
+		}
+		if strings.HasPrefix(sel.Sel.Name, "Write") {
+			return recv + "." + sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// ioWriter is io.Writer rebuilt from scratch so the analyzer does not
+// depend on the linted package importing io.
+var ioWriter = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice)), results, false)
+	meth := types.NewFunc(token.NoPos, nil, "Write", sig)
+	iface := types.NewInterfaceType([]*types.Func{meth}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func (p *Pass) implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, ioWriter) || types.Implements(types.NewPointer(t), ioWriter)
+}
+
+// sortedAfter reports whether any statement after rs in an enclosing
+// block sorts obj via the sort or slices package.
+func (p *Pass) sortedAfter(rs *ast.RangeStmt, blocks []*ast.BlockStmt, obj *types.Var) bool {
+	for _, block := range blocks {
+		for _, stmt := range block.List {
+			if stmt.Pos() <= rs.End() {
+				continue
+			}
+			found := false
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg := p.pkgPathOf(sel.X)
+				if pkg != "sort" && pkg != "slices" {
+					return true
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(an ast.Node) bool {
+						if id, ok := an.(*ast.Ident); ok && p.Pkg.Info.ObjectOf(id) == obj {
+							found = true
+						}
+						return !found
+					})
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// childNodes lists the direct children of n, in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	default:
+		return "expression"
+	}
+}

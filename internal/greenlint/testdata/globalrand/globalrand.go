@@ -1,0 +1,31 @@
+// Package globalrand is a greenlint golden-file fixture. Its import
+// path sits under internal/, which is the scope the check applies to.
+package globalrand
+
+import (
+	"math/rand" // want "\\[globalrand\\] import of math/rand \\(v1\\)"
+
+	randv2 "math/rand/v2"
+)
+
+func badV1() int {
+	return rand.Int()
+}
+
+func badGlobalV2() int {
+	return randv2.IntN(10) // want "\\[globalrand\\] rand\\.IntN draws from the process-global generator"
+}
+
+func badGlobalPerm() []int {
+	return randv2.Perm(4) // want "\\[globalrand\\] rand\\.Perm draws from the process-global generator"
+}
+
+func seeded() int {
+	r := randv2.New(randv2.NewPCG(1, 2))
+	return r.IntN(10)
+}
+
+func allowed() float64 {
+	//greenlint:allow globalrand fixture demonstrating an annotated exemption
+	return randv2.Float64()
+}

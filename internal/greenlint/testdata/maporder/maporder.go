@@ -1,0 +1,84 @@
+// Package maporder is a greenlint golden-file fixture.
+package maporder
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func emitUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "\\[maporder\\] write to io\\.Writer argument w inside range over a map"
+	}
+}
+
+func buildUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "\\[maporder\\] slice \"out\" is built from a map range and never sorted"
+	}
+	return out
+}
+
+func builderUnsorted(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "\\[maporder\\] write to sb inside range over a map"
+	}
+	return sb.String()
+}
+
+// csv.Writer.Write takes []string, not []byte, so it is not an
+// io.Writer — the Write*-name heuristic must catch it anyway.
+func emitCSVUnsorted(cw *csv.Writer, m map[string]string) {
+	for k, v := range m {
+		_ = cw.Write([]string{k, v}) // want "\\[maporder\\] write to cw\\.Write inside range over a map"
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSortSlice(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func loopLocalScratch(m map[string][]float64) float64 {
+	var total float64
+	for _, runs := range m {
+		scratch := make([]float64, 0, len(runs))
+		scratch = append(scratch, runs...)
+		total += float64(len(scratch))
+	}
+	return total
+}
+
+func deferredClosure(m map[string]int) func() []string {
+	var out []string
+	for k := range m {
+		f := func() { out = append(out, k) }
+		_ = f
+	}
+	return func() []string { sort.Strings(out); return out }
+}
+
+func allowed(w io.Writer, m map[string]int) {
+	for k := range m {
+		//greenlint:allow maporder fixture demonstrating an annotated exemption
+		fmt.Fprintln(w, k)
+	}
+}

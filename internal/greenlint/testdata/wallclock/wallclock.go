@@ -1,0 +1,29 @@
+// Package wallclock is a greenlint golden-file fixture.
+package wallclock
+
+import (
+	"time"
+
+	stdtime "time"
+)
+
+func bad() time.Duration {
+	start := time.Now()              // want "\\[wallclock\\] call to time\\.Now"
+	time.Sleep(5 * time.Millisecond) // want "\\[wallclock\\] call to time\\.Sleep"
+	return time.Since(start)         // want "\\[wallclock\\] call to time\\.Since"
+}
+
+func aliased() stdtime.Time {
+	return stdtime.Now() // want "\\[wallclock\\] call to time\\.Now"
+}
+
+func fine() time.Duration {
+	t := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	_ = t.Add(time.Hour)
+	return 3 * time.Second
+}
+
+func allowed() time.Time {
+	//greenlint:allow wallclock operator-facing progress line, not a measured quantity
+	return time.Now()
+}

@@ -1,0 +1,38 @@
+// Package wraperr is a greenlint golden-file fixture.
+package wraperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func badVerbV(err error) error {
+	return fmt.Errorf("loading spec: %v", err) // want "\\[wraperr\\] fmt\\.Errorf formats error err with %v"
+}
+
+func badVerbS() error {
+	return fmt.Errorf("stage %d: %s", 3, errBase) // want "\\[wraperr\\] fmt\\.Errorf formats error errBase with %s"
+}
+
+func badIndexed(err error) error {
+	return fmt.Errorf("%[2]d attempts: %[1]v", err, 7) // want "\\[wraperr\\] fmt\\.Errorf formats error err with %v"
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("loading spec: %w", err)
+}
+
+func goodNonError() error {
+	return fmt.Errorf("bad value: %v (want %s)", 42, "positive")
+}
+
+func goodStarWidth(err error) error {
+	return fmt.Errorf("%*d tries: %w", 4, 9, err)
+}
+
+func allowed(err error) string {
+	//greenlint:allow wraperr rendered for display only, never unwrapped
+	return fmt.Errorf("display: %v", err).Error()
+}

@@ -1,0 +1,38 @@
+package greenlint
+
+import (
+	"go/ast"
+)
+
+// Wallclock rejects direct wall-clock reads. Every duration and energy
+// figure the harness emits is derived from the deterministic virtual
+// clock (internal/vclock) and the energy meter (internal/energy); a
+// time.Now or time.Since in a measured path silently re-couples results
+// to the host machine, and a time.Sleep burns real seconds the virtual
+// clock never sees. Operator-facing timers (progress lines on stderr)
+// are the only legitimate sites and must carry a //greenlint:allow.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/time.Since/time.Sleep; measured code uses internal/vclock + internal/energy",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || p.pkgPathOf(sel.X) != "time" {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Now", "Since", "Sleep":
+					p.Reportf(call.Pos(),
+						"call to time.%s reads the wall clock; measured code must go through internal/vclock / internal/energy",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

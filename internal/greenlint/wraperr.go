@@ -1,0 +1,124 @@
+package greenlint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// WrapErr rejects fmt.Errorf calls that format an error-typed argument
+// with %v or %s. The resilience layer's failure taxonomy (PR 1) is
+// errors.Is/errors.As over wrapped *faults.Error values; %v flattens
+// the chain to text and every taxonomy probe above it silently reports
+// "no failure". %w is the only verb that preserves the chain.
+var WrapErr = &Analyzer{
+	Name: "wraperr",
+	Doc:  "forbid fmt.Errorf passing an error through %v/%s instead of %w",
+	Run: func(p *Pass) {
+		errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Errorf" || p.pkgPathOf(sel.X) != "fmt" {
+					return true
+				}
+				format, ok := p.constString(call.Args[0])
+				if !ok {
+					return true
+				}
+				for _, use := range parseVerbs(format) {
+					argIdx := use.operand // operand k is call.Args[k]: args[0] is the format
+					if use.verb != 'v' && use.verb != 's' {
+						continue
+					}
+					if argIdx < 1 || argIdx >= len(call.Args) {
+						continue
+					}
+					t := p.typeOf(call.Args[argIdx])
+					if t == nil || !types.Implements(t, errType) {
+						continue
+					}
+					p.Reportf(call.Args[argIdx].Pos(),
+						"fmt.Errorf formats error %s with %%%c, which flattens the chain; use %%w so errors.Is/errors.As keep working",
+						exprString(call.Args[argIdx]), use.verb)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// constString resolves expr to a compile-time string (literal or
+// constant), which is the only case the verb scanner can reason about.
+func (p *Pass) constString(expr ast.Expr) (string, bool) {
+	tv, ok := p.Pkg.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+type verbUse struct {
+	verb    rune
+	operand int // 1-based operand index == index into the Errorf call's args
+}
+
+// parseVerbs scans a fmt format string and maps each verb to the
+// operand it consumes, following fmt's rules for flags, *-widths, and
+// explicit [n] argument indexes.
+func parseVerbs(format string) []verbUse {
+	var out []verbUse
+	next := 1
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags, width, precision; each * consumes one operand.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				next++
+				i++
+				continue
+			}
+			if c == '[' {
+				j := i + 1
+				idx := 0
+				for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+					idx = idx*10 + int(runes[j]-'0')
+					j++
+				}
+				if j < len(runes) && runes[j] == ']' && idx > 0 {
+					next = idx
+					i = j + 1
+					continue
+				}
+				break
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verbUse{verb: runes[i], operand: next})
+		next++
+	}
+	return out
+}

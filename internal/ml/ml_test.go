@@ -2,7 +2,7 @@ package ml
 
 import (
 	"math"
-	mathrand "math/rand"
+	mathrand "math/rand" //greenlint:allow globalrand testing/quick needs a v1 *rand.Rand; the source is explicitly seeded
 	"math/rand/v2"
 	"testing"
 	"testing/quick"

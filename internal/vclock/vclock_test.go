@@ -1,7 +1,7 @@
 package vclock
 
 import (
-	"math/rand"
+	"math/rand" //greenlint:allow globalrand testing/quick needs a v1 *rand.Rand; the source is explicitly seeded
 	"testing"
 	"testing/quick"
 	"time"

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Runs the exact lint gate CI enforces, so contributors can check
+# locally before pushing:
+#
+#   1. gofmt cleanliness (every tracked .go file, fixtures included)
+#   2. go vet
+#   3. greenlint — the determinism & energy-accounting suite
+#      (see internal/greenlint and the "Determinism invariants"
+#      section of DESIGN.md)
+#
+# Usage: scripts/lint.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "lint: gofmt" >&2
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "lint: gofmt wants to reformat:" >&2
+    echo "$unformatted" >&2
+    echo "lint: run 'gofmt -w .'" >&2
+    exit 1
+fi
+
+echo "lint: go vet" >&2
+go vet ./...
+
+echo "lint: greenlint" >&2
+go run ./cmd/greenlint ./...
+
+echo "lint: ok" >&2
