@@ -43,6 +43,9 @@ func main() {
 		memoryGB   = flag.Float64("memory-gb", 0, "machine memory model in GB for simulated OOM kills (0 = off)")
 		retries    = flag.Int("retries", 0, "max Fit attempts per cell (0 = 1, or 3 with faults enabled); retry energy is charged")
 		workers    = flag.Int("workers", 0, "grid cells run concurrently (0 = NumCPU); output is identical at any worker count")
+		hangRate   = flag.Float64("hang-rate", 0, "per-attempt probability in [0,1] that a Fit hangs without progress, exercising the stall watchdog (0 = off)")
+		wdProbes   = flag.Int("watchdog-probes", 0, "probe intervals without virtual progress before a cell is abandoned as stalled (0 = off, or 4 when -hang-rate > 0)")
+		reportDir  = flag.String("report-dir", "", "also write each experiment's rendered report into this directory (atomic replace)")
 	)
 	flag.Parse()
 
@@ -50,11 +53,13 @@ func main() {
 		Seeds: *seeds,
 		Faults: faults.Config{
 			Rate:        *faultRate,
+			HangRate:    *hangRate,
 			Seed:        *faultSeed,
 			MemoryBytes: int64(*memoryGB * 1e9),
 		},
-		Retry:   bench.RetryPolicy{MaxAttempts: *retries},
-		Workers: *workers,
+		Retry:    bench.RetryPolicy{MaxAttempts: *retries},
+		Workers:  *workers,
+		Watchdog: bench.WatchdogPolicy{Probes: *wdProbes},
 	}
 	if *quick {
 		cfg.Seeds = 1
@@ -94,13 +99,13 @@ func main() {
 	if *experiment == "all" {
 		ids = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4", "table5", "table6", "table7", "table8", "table9", "winners", "significance"}
 	}
-	if err := run(ids, cfg, meta, *csvPath, *jsonPath, *svgDir, *journal); err != nil {
+	if err := run(ids, cfg, meta, *csvPath, *jsonPath, *svgDir, *reportDir, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ids []string, cfg bench.Config, meta metaopt.Options, csvPath, jsonPath, svgDir, journal string) error {
+func run(ids []string, cfg bench.Config, meta metaopt.Options, csvPath, jsonPath, svgDir, reportDir, journal string) error {
 	// fig3's grid feeds several tables; compute it lazily, once.
 	var fig3 *bench.Fig3Result
 	var fig3Err error
@@ -179,6 +184,16 @@ func run(ids []string, cfg bench.Config, meta metaopt.Options, csvPath, jsonPath
 			return fig3Err
 		}
 		fmt.Println(out)
+		if reportDir != "" {
+			if err := os.MkdirAll(reportDir, 0o755); err != nil {
+				return err
+			}
+			path := reportDir + "/" + strings.TrimSpace(id) + ".txt"
+			if err := bench.WriteReportFile(path, out); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "greenbench: wrote %s\n", path)
+		}
 		//greenlint:allow wallclock operator-facing progress timing on stderr, not a measured quantity
 		fmt.Fprintf(os.Stderr, "greenbench: %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
@@ -190,17 +205,15 @@ func run(ids []string, cfg bench.Config, meta metaopt.Options, csvPath, jsonPath
 	return nil
 }
 
-// writeSVG writes one chart into the SVG output directory.
+// writeSVG writes one chart into the SVG output directory. The write is
+// atomic (temp + fsync + rename via internal/atomicio), and any
+// close/sync failure propagates so the command exits non-zero instead
+// of shipping a torn chart.
 func writeSVG(dir, name string, render func(io.Writer) error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(dir + "/" + name)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := render(f); err != nil {
+	if err := bench.WriteSVGFile(dir+"/"+name, render); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "greenbench: wrote %s/%s\n", dir, name)
@@ -208,25 +221,17 @@ func writeSVG(dir, name string, render func(io.Writer) error) error {
 }
 
 // exportRecords writes the raw grid records to the requested paths.
+// Exports are atomic: a kill mid-export (or a failed close) leaves any
+// previous artifact intact and surfaces the error as a non-zero exit.
 func exportRecords(records []bench.Record, csvPath, jsonPath string) error {
 	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := bench.WriteCSV(f, records); err != nil {
+		if err := bench.WriteCSVFile(csvPath, records); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "greenbench: wrote %d records to %s\n", len(records), csvPath)
 	}
 	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := bench.WriteJSON(f, records); err != nil {
+		if err := bench.WriteJSONFile(jsonPath, records); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "greenbench: wrote %d records to %s\n", len(records), jsonPath)

@@ -10,7 +10,7 @@ import (
 )
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	err := run([]string{"fig99"}, bench.Config{}, metaopt.Options{}, "", "", "", "")
+	err := run([]string{"fig99"}, bench.Config{}, metaopt.Options{}, "", "", "", "", "")
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -27,7 +27,7 @@ func TestRunTinyFig4(t *testing.T) {
 		Seeds:    1,
 		Scale:    openml.SmallScale(),
 	}
-	if err := run([]string{"fig4"}, cfg, metaopt.Options{}, "", "", "", ""); err != nil {
+	if err := run([]string{"fig4"}, cfg, metaopt.Options{}, "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }

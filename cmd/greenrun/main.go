@@ -16,6 +16,7 @@ import (
 	"time"
 
 	greenautoml "repro"
+	"repro/internal/atomicio"
 	"repro/internal/energy"
 	"repro/internal/tabular"
 )
@@ -97,13 +98,9 @@ func main() {
 	fmt.Printf("footprint:          %.6f kg CO2, %.6f EUR\n", report.CO2Kg(), report.CostEUR())
 
 	if trace != nil {
-		out, err := os.Create(*timeline)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "greenrun:", err)
-			os.Exit(1)
-		}
-		defer out.Close()
-		if err := trace.WriteCSV(out); err != nil {
+		// Atomic replace: a kill mid-write must not leave a torn
+		// timeline under the final name.
+		if err := atomicio.WriteFile(*timeline, trace.WriteCSV); err != nil {
 			fmt.Fprintln(os.Stderr, "greenrun:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,97 @@
+// Package atomicio writes results artifacts crash-consistently.
+//
+// The benchmark's exports (CSV/JSON records, SVG figures, timelines) are
+// the deliverable of a run that may have taken hours of virtual sweep —
+// and the harness's whole crash-consistency story (journal + resume)
+// promises that a kill at any instant never costs more than the cells in
+// flight. A bare os.Create breaks that promise at the last step: a kill
+// mid-export leaves a torn artifact under the final name, silently
+// corrupting the one file the operator keeps. Every results writer
+// therefore goes through WriteFile: render into a temp file in the
+// destination directory, fsync it, rename it over the target, and fsync
+// the directory, so readers only ever observe the old artifact or the
+// complete new one — never a prefix.
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// testHookBeforeRename, when non-nil, runs after the temp file is
+// durable but before it is renamed over the target — the deterministic
+// "kill during export" crash point the chaos tests exercise. Returning
+// an error simulates the process dying there.
+var testHookBeforeRename func(tmp string) error
+
+// WriteFile atomically replaces path with the bytes render produces.
+// The content is written to a temporary file in path's directory,
+// flushed and fsynced, then renamed over path; the directory is fsynced
+// so the rename itself is durable. On any error — including render
+// failing partway, or the close/sync failing after a full write — the
+// target is left untouched and the temp file is removed, and the error
+// is returned so callers exit non-zero instead of shipping a torn
+// artifact.
+func WriteFile(path string, render func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := render(tmp); err != nil {
+		return fmt.Errorf("atomicio: rendering %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing %s: %w", path, err)
+	}
+	if testHookBeforeRename != nil {
+		if err := testHookBeforeRename(tmpName); err != nil {
+			return fmt.Errorf("atomicio: %w", err)
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: renaming %s into place: %w", path, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: syncing directory of %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for pre-rendered content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that reject directory fsync (it is not required to work
+// everywhere) degrade to the rename's own atomicity.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) && !errors.Is(err, syscall.EPERM) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readDirNames lists the directory, so tests can assert no temp files
+// leak past a failed write.
+func readDirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFileBytes(path, []byte("v1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("v2\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2\n" {
+		t.Fatalf("content = %q, want v2", data)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 {
+		t.Fatalf("directory holds %v, want only the artifact", names)
+	}
+}
+
+// TestRenderFailureLeavesOldArtifact is the export crash-consistency
+// contract: a writer that dies partway (a kill mid-export, a failed
+// encoder) must leave the previous artifact byte-intact and no temp
+// debris behind.
+func TestRenderFailureLeavesOldArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("old artifact\n")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("killed mid-render")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "half of the new art"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the render failure", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old artifact\n" {
+		t.Fatalf("target corrupted to %q after failed render", data)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 {
+		t.Fatalf("temp debris left behind: %v", names)
+	}
+}
+
+// TestKillBeforeRenameLeavesOldArtifact simulates the process dying at
+// the deterministic crash point between a durable temp file and the
+// rename: the target must still read as the previous version.
+func TestKillBeforeRenameLeavesOldArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig3.svg")
+	if err := WriteFileBytes(path, []byte("<svg>old</svg>")); err != nil {
+		t.Fatal(err)
+	}
+	killed := errors.New("killed before rename")
+	testHookBeforeRename = func(tmp string) error {
+		// The temp file is fully written and synced at this point.
+		data, err := os.ReadFile(tmp)
+		if err != nil {
+			t.Errorf("temp unreadable at crash point: %v", err)
+		}
+		if string(data) != "<svg>new</svg>" {
+			t.Errorf("temp holds %q at crash point", data)
+		}
+		return killed
+	}
+	defer func() { testHookBeforeRename = nil }()
+	err := WriteFileBytes(path, []byte("<svg>new</svg>"))
+	if !errors.Is(err, killed) {
+		t.Fatalf("err = %v, want the injected kill", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "<svg>old</svg>" {
+		t.Fatalf("target is %q after kill before rename, want the old artifact", data)
+	}
+}
+
+func TestWriteFileFreshTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested.csv")
+	if err := WriteFileBytes(path, []byte("fresh\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "fresh\n" {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+func TestWriteFileMissingDirectory(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no-such-dir", "x.csv"), []byte("x"))
+	if err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "atomicio:") {
+		t.Fatalf("error %v lacks package context", err)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/atomicio"
 )
 
 // WriteCSV exports grid records as CSV — the equivalent of the paper's
@@ -55,6 +57,18 @@ func WriteJSON(w io.Writer, records []Record) error {
 		return fmt.Errorf("bench: writing json: %w", err)
 	}
 	return nil
+}
+
+// WriteCSVFile atomically exports records as CSV to path: a kill or
+// write failure mid-export leaves any previous artifact intact instead
+// of a torn file under the final name.
+func WriteCSVFile(path string, records []Record) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error { return WriteCSV(w, records) })
+}
+
+// WriteJSONFile atomically exports records as JSON to path.
+func WriteJSONFile(path string, records []Record) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error { return WriteJSON(w, records) })
 }
 
 // ReadJSON loads previously exported records, enabling offline

@@ -1,12 +1,14 @@
 package bench
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -15,25 +17,58 @@ import (
 
 // Journal checkpoints completed grid cells as JSON lines so an
 // interrupted run resumes instead of restarting. The first line is a
-// header binding the journal to a grid fingerprint; every following
-// line is one Record, flushed and synced as soon as its cell completes.
-// A truncated trailing line (the process died mid-write) is discarded on
-// replay. Appends and lookups are safe for concurrent use: parallel grid
+// header binding the journal to a grid fingerprint and a format
+// version; every following line is one Record, flushed and synced as
+// soon as its cell completes. Version 2 (the current format) prefixes
+// each record line with a CRC32 of its payload, which lets replay tell
+// mid-file corruption apart from the torn trailing line of a kill
+// mid-write: a torn tail is truncated and its cell rerun, while a
+// damaged line with intact checkpoints after it is skipped and counted
+// instead of silently costing every later checkpoint. Version 1
+// journals (no CRC) are still read and appended to in their own format.
+// Appends and lookups are safe for concurrent use: parallel grid
 // workers checkpoint cells as they finish, so the on-disk line order may
 // differ from grid order — replay keys records by cell identity, not
 // position, which keeps resume exact regardless of who finished first.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	done map[string]Record
+	mu        sync.Mutex
+	f         *os.File
+	version   int
+	done      map[string]Record
+	appends   int
+	discarded int
+	// crash, when set, is consulted at the deterministic crash points of
+	// every append; a non-nil return simulates the process dying there
+	// (the hook may first tear the write itself). Chaos tests only.
+	crash crashFn
 }
+
+// crashFn is the chaos-test hook signature: point names the crash
+// point, seq is the zero-based append index, and f/line expose the
+// journal file and encoded line so a hook can simulate a torn write.
+type crashFn func(point string, seq int, f *os.File, line []byte) error
+
+// The deterministic crash points every Append passes through.
+const (
+	// crashAppendStart fires before any byte of the record is written.
+	crashAppendStart = "append-start"
+	// crashAppendWritten fires after the line is written but before it
+	// is synced — the record may or may not survive a real kill here.
+	crashAppendWritten = "append-written"
+	// crashAppendSynced fires after the record is durable; a kill here
+	// loses nothing but the acknowledgement.
+	crashAppendSynced = "append-synced"
+)
 
 type journalHeader struct {
 	Version     int    `json:"version"`
 	Fingerprint string `json:"fingerprint"`
 }
 
-const journalVersion = 1
+const (
+	journalVersionV1 = 1
+	journalVersion   = 2
+)
 
 // cellID is the journal key of one grid cell.
 func cellID(system, dataset string, budget time.Duration, seed uint64) string {
@@ -43,7 +78,8 @@ func cellID(system, dataset string, budget time.Duration, seed uint64) string {
 // Fingerprint digests everything that determines a grid's records —
 // system lineup, datasets, budgets, seeds, scale, machine, fault and
 // retry configuration — so a journal is only ever resumed against the
-// exact grid that produced it.
+// exact grid that produced it. Pure throughput and liveness knobs
+// (Workers, Watchdog) are deliberately excluded.
 func Fingerprint(systems []automl.System, cfg Config) string {
 	cfg = cfg.normalized()
 	h := fnv.New64a()
@@ -64,7 +100,10 @@ func Fingerprint(systems []automl.System, cfg Config) string {
 
 // OpenJournal opens (or creates) the run journal at path. An existing
 // journal must carry the same fingerprint — resuming against a different
-// grid configuration is an error, not a silent merge.
+// grid configuration is an error, not a silent merge. Damaged
+// checkpoint lines are reported to stderr (their cells simply rerun);
+// a v1 journal with intact checkpoints after the damage refuses to
+// open rather than silently truncating them.
 func OpenJournal(path, fingerprint string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -75,20 +114,30 @@ func OpenJournal(path, fingerprint string) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
+	if j.discarded > 0 {
+		fmt.Fprintf(os.Stderr, "bench: journal %s: skipped %d damaged checkpoint line(s); their cells will rerun\n", path, j.discarded)
+	}
 	return j, nil
 }
 
-// replay loads the header and completed records, then positions the
-// write offset after the last intact line.
+// replay loads the header and completed records, truncates a torn
+// trailing line, and positions the write offset at the end of the last
+// complete line. Damaged complete lines are handled per format version:
+// v2 lines carry a CRC, so a damaged line is confidently skipped (its
+// cell reruns) while every intact line before and after it is kept; v1
+// lines cannot distinguish corruption from a format break, so damage
+// followed by intact checkpoints is an error — truncating would
+// silently discard completed work — and damage at the very end is
+// treated as the historical torn tail.
 func (j *Journal) replay(fingerprint string) error {
-	r := bufio.NewReader(j.f)
-	var offset int64
-
-	headerLine, err := r.ReadBytes('\n')
-	switch {
-	case err == io.EOF && len(headerLine) == 0:
-		// Fresh journal: write the header.
-		hdr, err := json.Marshal(journalHeader{Version: journalVersion, Fingerprint: fingerprint})
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("bench: reading journal: %w", err)
+	}
+	if len(data) == 0 {
+		// Fresh journal: write the current-version header.
+		j.version = journalVersion
+		hdr, err := json.Marshal(journalHeader{Version: j.version, Fingerprint: fingerprint})
 		if err != nil {
 			return fmt.Errorf("bench: encoding journal header: %w", err)
 		}
@@ -96,45 +145,136 @@ func (j *Journal) replay(fingerprint string) error {
 			return fmt.Errorf("bench: writing journal header: %w", err)
 		}
 		return j.f.Sync()
-	case err != nil && err != io.EOF:
-		return fmt.Errorf("bench: reading journal header: %w", err)
+	}
+
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return fmt.Errorf("bench: corrupt journal header: no complete header line")
 	}
 	var hdr journalHeader
-	if err := json.Unmarshal(headerLine, &hdr); err != nil {
+	if err := json.Unmarshal(data[:nl+1], &hdr); err != nil {
 		return fmt.Errorf("bench: corrupt journal header: %w", err)
 	}
-	if hdr.Version != journalVersion {
-		return fmt.Errorf("bench: journal version %d, want %d", hdr.Version, journalVersion)
+	if hdr.Version != journalVersionV1 && hdr.Version != journalVersion {
+		return fmt.Errorf("bench: journal version %d, want %d (or legacy %d)", hdr.Version, journalVersion, journalVersionV1)
 	}
 	if hdr.Fingerprint != fingerprint {
 		return fmt.Errorf("bench: journal fingerprint %s does not match grid %s — refusing to resume a different configuration", hdr.Fingerprint, fingerprint)
 	}
-	offset = int64(len(headerLine))
+	j.version = hdr.Version
 
-	for {
-		line, err := r.ReadBytes('\n')
-		if err == io.EOF {
-			// A partial trailing line is an interrupted write; the cell
-			// reruns deterministically on resume.
-			break
+	body := data[nl+1:]
+	// Split into complete lines; a final segment without '\n' is the
+	// torn tail of an interrupted write and is truncated below.
+	var lines [][]byte
+	for len(body) > 0 {
+		i := bytes.IndexByte(body, '\n')
+		if i < 0 {
+			break // torn tail: dropped by truncating to the last kept line
 		}
-		if err != nil {
-			return fmt.Errorf("bench: reading journal: %w", err)
-		}
-		var rec Record
-		if json.Unmarshal(line, &rec) != nil {
-			break // damaged tail: rerun from here
-		}
-		j.done[cellID(rec.System, rec.Dataset, rec.Budget, rec.Seed)] = rec
-		offset += int64(len(line))
+		lines = append(lines, body[:i])
+		body = body[i+1:]
 	}
-	if err := j.f.Truncate(offset); err != nil {
+
+	type parsed struct {
+		rec Record
+		ok  bool
+	}
+	recs := make([]parsed, len(lines))
+	firstBad := -1
+	for i, line := range lines {
+		rec, ok := decodeJournalLine(j.version, line)
+		recs[i] = parsed{rec: rec, ok: ok}
+		if !ok && firstBad < 0 {
+			firstBad = i
+		}
+	}
+
+	end := int64(nl + 1) // append offset: end of the last kept line
+	switch {
+	case j.version >= journalVersion:
+		// CRC-checked lines: keep every intact record, count the damage.
+		for i, p := range recs {
+			if p.ok {
+				j.done[cellID(p.rec.System, p.rec.Dataset, p.rec.Budget, p.rec.Seed)] = p.rec
+			} else {
+				j.discarded++
+			}
+			end += int64(len(lines[i]) + 1)
+		}
+	case firstBad < 0:
+		// Clean v1 body.
+		for i, p := range recs {
+			j.done[cellID(p.rec.System, p.rec.Dataset, p.rec.Budget, p.rec.Seed)] = p.rec
+			end += int64(len(lines[i]) + 1)
+		}
+	default:
+		// Damaged v1 body: refuse to destroy intact checkpoints that
+		// follow the damage — without CRCs the safe recoveries are
+		// "tail damage, truncate" and nothing else.
+		intactAfter := 0
+		for _, p := range recs[firstBad+1:] {
+			if p.ok {
+				intactAfter++
+			}
+		}
+		if intactAfter > 0 {
+			return fmt.Errorf("bench: v1 journal damaged at record line %d with %d intact checkpoint(s) after it — refusing to truncate completed work; remove or repair the journal (v2 journals skip damaged lines)", firstBad+1, intactAfter)
+		}
+		for i, p := range recs[:firstBad] {
+			j.done[cellID(p.rec.System, p.rec.Dataset, p.rec.Budget, p.rec.Seed)] = p.rec
+			end += int64(len(lines[i]) + 1)
+		}
+		j.discarded = len(recs) - firstBad
+	}
+	if err := j.f.Truncate(end); err != nil {
 		return fmt.Errorf("bench: truncating damaged journal tail: %w", err)
 	}
-	if _, err := j.f.Seek(offset, io.SeekStart); err != nil {
+	if _, err := j.f.Seek(end, io.SeekStart); err != nil {
 		return fmt.Errorf("bench: seeking journal: %w", err)
 	}
 	return nil
+}
+
+// decodeJournalLine parses one complete record line in the given format
+// version. For v2, the line is "<crc32-hex8> <json>" and both the
+// checksum and the JSON must verify.
+func decodeJournalLine(version int, line []byte) (Record, bool) {
+	var rec Record
+	payload := line
+	if version >= journalVersion {
+		if len(line) < 10 || line[8] != ' ' {
+			return Record{}, false
+		}
+		want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+		if err != nil {
+			return Record{}, false
+		}
+		payload = line[9:]
+		if crc32.ChecksumIEEE(payload) != uint32(want) {
+			return Record{}, false
+		}
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// encodeJournalLine renders one record line (trailing newline included)
+// in the journal's format version.
+func (j *Journal) encodeJournalLine(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("bench: encoding journal record: %w", err)
+	}
+	if j.version >= journalVersion {
+		line := make([]byte, 0, len(payload)+10)
+		line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+		line = append(line, payload...)
+		return append(line, '\n'), nil
+	}
+	return append(payload, '\n'), nil
 }
 
 // Lookup returns the checkpointed record for a cell, if present.
@@ -152,22 +292,47 @@ func (j *Journal) Len() int {
 	return len(j.done)
 }
 
+// Discarded reports how many damaged checkpoint lines replay skipped
+// (v2) or dropped as tail damage (v1). The affected cells rerun.
+func (j *Journal) Discarded() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.discarded
+}
+
 // Append checkpoints one completed cell, synced to disk so a kill at
 // any instant loses at most the cells in flight.
 func (j *Journal) Append(rec Record) error {
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("bench: encoding journal record: %w", err)
-	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(append(line, '\n')); err != nil {
+	line, err := j.encodeJournalLine(rec)
+	if err != nil {
+		return err
+	}
+	seq := j.appends
+	if j.crash != nil {
+		if err := j.crash(crashAppendStart, seq, j.f, line); err != nil {
+			return fmt.Errorf("bench: appending journal record: %w", err)
+		}
+	}
+	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("bench: appending journal record: %w", err)
+	}
+	if j.crash != nil {
+		if err := j.crash(crashAppendWritten, seq, j.f, line); err != nil {
+			return fmt.Errorf("bench: appending journal record: %w", err)
+		}
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("bench: syncing journal: %w", err)
 	}
+	j.appends++
 	j.done[cellID(rec.System, rec.Dataset, rec.Budget, rec.Seed)] = rec
+	if j.crash != nil {
+		if err := j.crash(crashAppendSynced, seq, j.f, nil); err != nil {
+			return fmt.Errorf("bench: journal checkpoint acknowledgement: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -1,11 +1,15 @@
 package bench
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/faults"
 )
 
 func TestResumableMatchesPlainRun(t *testing.T) {
@@ -96,5 +100,175 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 	if Fingerprint(DefaultSystems()[:3], cfg) == base {
 		t.Error("system lineup change did not alter the fingerprint")
+	}
+}
+
+// tinyCfg is the smallest clean grid the journal format tests rerun:
+// two systems, two tiny datasets, one budget, one seed.
+func tinyCfg() Config {
+	cfg := chaosCfg()
+	cfg.Seeds = 1
+	cfg.Faults = faults.Config{}
+	cfg.Watchdog = WatchdogPolicy{}
+	return cfg
+}
+
+// writeV1Journal renders a legacy (pre-CRC) journal: a version-1 header
+// followed by plain JSON record lines and any extra raw lines.
+func writeV1Journal(t *testing.T, path, fingerprint string, recs []Record, extra ...string) {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `{"version":1,"fingerprint":%q}`+"\n", fingerprint)
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	for _, raw := range extra {
+		sb.WriteString(raw)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalV1StillReadable pins backwards compatibility: a legacy
+// journal resumes, and new appends stay in the legacy format — plain
+// JSON lines, no CRC prefix — so the file remains self-consistent.
+func TestJournalV1StillReadable(t *testing.T) {
+	cfg := tinyCfg()
+	want := RunGrid(chaosSystems(), cfg)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeV1Journal(t, path, Fingerprint(chaosSystems(), cfg), want[:2])
+
+	got, err := RunGridResumable(chaosSystems(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resume from a v1 journal differs from a plain run")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 1+len(want) {
+		t.Fatalf("v1 journal has %d lines, want header + %d records", len(lines), len(want))
+	}
+	for i, line := range lines[1:] {
+		if !strings.HasPrefix(line, "{") {
+			t.Fatalf("record line %d of a v1 journal is not plain JSON: %q", i+1, line)
+		}
+	}
+}
+
+// TestJournalV1RefusesMidFileDamage pins the bugfix: without CRCs a
+// damaged line cannot be told apart from a format break, so truncating
+// at the damage would silently destroy the intact checkpoints after it
+// — replay must refuse instead.
+func TestJournalV1RefusesMidFileDamage(t *testing.T) {
+	cfg := tinyCfg()
+	want := RunGrid(chaosSystems(), cfg)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	fingerprint := Fingerprint(chaosSystems(), cfg)
+	writeV1Journal(t, path, fingerprint, want[:1], "garbage not json\n")
+	rest, err := json.Marshal(want[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(rest, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, err = OpenJournal(path, fingerprint)
+	if err == nil || !strings.Contains(err.Error(), "refusing to truncate") {
+		t.Fatalf("damaged v1 journal with intact checkpoints after it opened with %v, want refusal", err)
+	}
+}
+
+// TestJournalV1TailDamageTruncates: damage with nothing intact after it
+// is the historical torn-tail case — dropped, counted, and the cell
+// simply reruns.
+func TestJournalV1TailDamageTruncates(t *testing.T) {
+	cfg := tinyCfg()
+	want := RunGrid(chaosSystems(), cfg)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	fingerprint := Fingerprint(chaosSystems(), cfg)
+	writeV1Journal(t, path, fingerprint, want[:2], "garbage not json\n")
+
+	j, err := OpenJournal(path, fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 || j.Discarded() != 1 {
+		t.Fatalf("kept %d records and discarded %d, want 2 and 1", j.Len(), j.Discarded())
+	}
+	j.Close()
+
+	got, err := RunGridResumable(chaosSystems(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resume after v1 tail damage differs from a plain run")
+	}
+}
+
+// TestJournalV2SkipsDamagedLine: the CRC tells mid-file corruption from
+// a format break, so a damaged checkpoint is skipped and counted while
+// every intact line — before and after it — survives, and the resumed
+// grid is still byte-identical.
+func TestJournalV2SkipsDamagedLine(t *testing.T) {
+	cfg := tinyCfg()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	want, err := RunGridResumable(chaosSystems(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("journal has only %d lines", len(lines))
+	}
+	// Corrupt the payload of the second record; its CRC no longer
+	// matches.
+	damaged := []byte(lines[2])
+	damaged[len(damaged)/2] ^= 0xff
+	lines[2] = string(damaged)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fingerprint := Fingerprint(chaosSystems(), cfg)
+	j, err := OpenJournal(path, fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Discarded() != 1 || j.Len() != len(want)-1 {
+		t.Fatalf("kept %d records and discarded %d, want %d and 1 — intact lines after the damage must survive",
+			j.Len(), j.Discarded(), len(want)-1)
+	}
+	j.Close()
+
+	got, err := RunGridResumable(chaosSystems(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resume after skipping a damaged v2 line differs from the original run")
 	}
 }

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/automl"
 	"repro/internal/faults"
 )
@@ -230,4 +232,16 @@ func (r SweepResult) Render() string {
 	}
 	w.Flush()
 	return sb.String()
+}
+
+// WriteReportFile atomically writes a rendered report (the text a
+// Render method returns) to path. Reports are results artifacts like
+// the CSV/JSON/SVG exports, so they get the same crash-consistency
+// guarantee: readers observe the old report or the new one, never a
+// prefix.
+func WriteReportFile(path, report string) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, report)
+		return err
+	})
 }

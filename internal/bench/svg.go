@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/atomicio"
 )
 
 // SVG rendering of the paper's figures. The harness's primary output is
@@ -304,4 +306,11 @@ func WriteFig5SVG(w io.Writer, res Fig5Result) error {
 	c.legend(names)
 	_, err := io.WriteString(w, c.close())
 	return err
+}
+
+// WriteSVGFile atomically writes one rendered chart to path through
+// internal/atomicio, so a kill mid-render never leaves a torn SVG under
+// the final name.
+func WriteSVGFile(path string, render func(io.Writer) error) error {
+	return atomicio.WriteFile(path, render)
 }

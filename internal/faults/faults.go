@@ -18,6 +18,9 @@
 //     a site-keyed fraction of the budget has been burned (crashed
 //     trainers still consumed energy);
 //   - corrupt-model predictor faults that panic during prediction;
+//   - hang faults: Fit burns part of the budget, then parks forever
+//     without advancing the virtual clock — the stall signature the
+//     scheduler's liveness watchdog must detect and reclaim;
 //   - meter dropout: the energy sampler dies mid-run, losing readings
 //     while virtual time keeps advancing (CodeCarbon's sampler is a
 //     separate process in the paper's setup);
@@ -59,6 +62,10 @@ const (
 	// MeterDropout means energy readings were lost mid-run; the score is
 	// valid but the energy measurements are partial.
 	MeterDropout Kind = "meter-dropout"
+	// Stall is a cell whose virtual clock stopped advancing: the trainer
+	// wedged without failing, the scheduler's liveness watchdog abandoned
+	// it, and the budget it burned before stalling stays charged.
+	Stall Kind = "stall"
 	// DatasetError is a dataset-generation failure.
 	DatasetError Kind = "dataset-error"
 	// FallbackUsed labels records whose score came from the
@@ -104,6 +111,13 @@ type Config struct {
 	// Rate is the per-attempt probability in [0, 1] that a random fault
 	// (crash, transient error, corrupt model, meter dropout) fires.
 	Rate float64
+	// HangRate is the per-attempt probability in [0, 1] that a Fit hangs
+	// instead: it burns a site-keyed fraction of the budget and then stops
+	// advancing the virtual clock forever, parking until the harness's
+	// stall watchdog abandons the attempt. Hangs exist to exercise the
+	// watchdog deterministically; enabling them without a watchdog wedges
+	// the run exactly like a real hung trainer would.
+	HangRate float64
 	// Seed seeds the injection stream. Decisions depend only on (Seed,
 	// site key), never on execution order.
 	Seed uint64
@@ -114,7 +128,7 @@ type Config struct {
 }
 
 // Enabled reports whether any fault source is active.
-func (c Config) Enabled() bool { return c.Rate > 0 || c.MemoryBytes > 0 }
+func (c Config) Enabled() bool { return c.Rate > 0 || c.HangRate > 0 || c.MemoryBytes > 0 }
 
 // Injector draws deterministic fault decisions. A nil *Injector is valid
 // and injects nothing, so callers need no branching when injection is
@@ -135,6 +149,12 @@ func New(cfg Config) *Injector {
 	if cfg.Rate > 1 {
 		cfg.Rate = 1
 	}
+	if cfg.HangRate < 0 {
+		cfg.HangRate = 0
+	}
+	if cfg.HangRate > 1 {
+		cfg.HangRate = 1
+	}
 	return &Injector{cfg: cfg}
 }
 
@@ -154,29 +174,39 @@ type Plan struct {
 	FitError bool
 	// PredictError corrupts the returned predictor so it panics on use.
 	PredictError bool
+	// Hang makes Fit burn WasteFrac of the budget and then park forever
+	// without advancing the virtual clock — the stall signature the
+	// liveness watchdog detects. The parked Fit unblocks only when the
+	// harness closes the attempt's abandon channel.
+	Hang bool
 	// DropoutFrac > 0 arranges for the execution meter to lose energy
 	// readings after this fraction of the budget.
 	DropoutFrac float64
-	// WasteFrac is the fraction of the budget a crashing Fit burns
-	// before it fails — energy that is spent even though no result
+	// WasteFrac is the fraction of the budget a crashing or hanging Fit
+	// burns before it fails — energy that is spent even though no result
 	// survives.
 	WasteFrac float64
 }
 
 // Empty reports whether the plan injects nothing.
 func (p Plan) Empty() bool {
-	return !p.FitPanic && !p.FitError && !p.PredictError && p.DropoutFrac <= 0
+	return !p.FitPanic && !p.FitError && !p.PredictError && !p.Hang && p.DropoutFrac <= 0
 }
 
 // CellPlan decides the faults for one (system, dataset, budget, seed)
 // cell attempt. The decision is order-independent: it depends only on
 // the injector seed and the cell identity.
 func (in *Injector) CellPlan(system, dataset string, budget time.Duration, seed, attempt uint64) Plan {
-	if in == nil || in.cfg.Rate <= 0 {
+	if in == nil || (in.cfg.Rate <= 0 && in.cfg.HangRate <= 0) {
 		return Plan{}
 	}
 	site := fmt.Sprintf("cell/%s/%s/%d/%d/%d", system, dataset, budget, seed, attempt)
-	if in.roll(site) >= in.cfg.Rate {
+	// Hangs draw from their own site key so enabling them never perturbs
+	// the crash/error/dropout decisions an existing fault seed produces.
+	if in.cfg.HangRate > 0 && in.roll(site+"/hang") < in.cfg.HangRate {
+		return Plan{Hang: true, WasteFrac: 0.1 + 0.5*in.roll(site+"/hangwaste")}
+	}
+	if in.cfg.Rate <= 0 || in.roll(site) >= in.cfg.Rate {
 		return Plan{}
 	}
 	waste := 0.2 + 0.6*in.roll(site+"/waste")
@@ -265,6 +295,22 @@ func (f *faultySystem) MinBudget() time.Duration { return f.inner.MinBudget() }
 func (f *faultySystem) Fit(train *tabular.Dataset, opts automl.Options) (*automl.Result, error) {
 	if f.plan.DropoutFrac > 0 && opts.Meter != nil {
 		opts.Meter.DropoutAfter(time.Duration(f.plan.DropoutFrac * float64(opts.Budget)))
+	}
+	if f.plan.Hang {
+		if opts.Meter != nil {
+			if waste := time.Duration(f.plan.WasteFrac * float64(opts.Budget)); waste > 0 {
+				opts.Meter.Idle(energy.Execution, waste)
+			}
+		}
+		// Park without advancing the virtual clock — the watchdog's stall
+		// signature. A nil Abandon channel blocks forever, which is
+		// exactly what a hung trainer does to a harness with no watchdog.
+		<-opts.Abandon
+		return nil, &Error{
+			Kind: Stall,
+			Site: "fit/" + f.inner.Name(),
+			Err:  errors.New("injected hang abandoned by watchdog"),
+		}
 	}
 	if f.plan.FitPanic || f.plan.FitError {
 		if opts.Meter != nil {

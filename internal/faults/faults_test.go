@@ -188,3 +188,67 @@ func TestWrapEmptyPlanIsTransparent(t *testing.T) {
 		t.Error("wrapper must preserve identity")
 	}
 }
+
+func TestHangPlanDeterministicAndIndependent(t *testing.T) {
+	always := New(Config{HangRate: 1, Seed: 3})
+	for seed := uint64(0); seed < 20; seed++ {
+		p := always.CellPlan("S", "d", time.Second, seed, 0)
+		if !p.Hang {
+			t.Fatalf("seed %d: hang rate 1 produced %+v", seed, p)
+		}
+		if p.WasteFrac < 0.1 || p.WasteFrac > 0.6 {
+			t.Fatalf("seed %d: hang waste %v outside [0.1, 0.6]", seed, p.WasteFrac)
+		}
+	}
+	// Enabling hangs must not perturb the crash/error/dropout decisions
+	// an existing fault seed produces on the sites hangs skip.
+	plain := New(Config{Rate: 0.5, Seed: 42})
+	mixed := New(Config{Rate: 0.5, HangRate: 0.25, Seed: 42})
+	for seed := uint64(0); seed < 60; seed++ {
+		pm := mixed.CellPlan("CAML", "adult", 10*time.Second, seed, 0)
+		if pm.Hang {
+			continue
+		}
+		if pp := plain.CellPlan("CAML", "adult", 10*time.Second, seed, 0); pm != pp {
+			t.Fatalf("seed %d: hang stream leaked into fault decisions: %+v vs %+v", seed, pm, pp)
+		}
+	}
+}
+
+// TestWrapHangParksUntilAbandoned pins the hang fault's contract: it
+// burns WasteFrac of the budget, stops advancing the virtual clock, and
+// unwinds with a typed stall error once the watchdog closes the abandon
+// channel — so an abandoned hang never leaks its goroutine.
+func TestWrapHangParksUntilAbandoned(t *testing.T) {
+	train := testTrain(t)
+	meter := testMeter()
+	sys := Wrap(automl.NewTabPFN(), Plan{Hang: true, WasteFrac: 0.25})
+
+	abandon := make(chan struct{})
+	type outcome struct {
+		res *automl.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := sys.Fit(train, automl.Options{Budget: 8 * time.Second, Meter: meter, Abandon: abandon})
+		done <- outcome{res, err}
+	}()
+
+	select {
+	case out := <-done:
+		t.Fatalf("hang returned before abandonment: %+v, %v", out.res, out.err)
+	default:
+	}
+	close(abandon)
+	out := <-done
+	if out.res != nil || KindOf(out.err, None) != Stall {
+		t.Fatalf("abandoned hang returned (%+v, %v), want typed stall", out.res, out.err)
+	}
+	if got := meter.Clock().Now(); got != 2*time.Second {
+		t.Errorf("hang advanced clock by %s, want the 2s waste and nothing after", got)
+	}
+	if meter.Tracker().KWh(energy.Execution) <= 0 {
+		t.Error("hang burned no energy — the budget consumed before the stall must stay charged")
+	}
+}

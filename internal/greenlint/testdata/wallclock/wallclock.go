@@ -27,3 +27,22 @@ func allowed() time.Time {
 	//greenlint:allow wallclock operator-facing progress line, not a measured quantity
 	return time.Now()
 }
+
+func timers() {
+	<-time.After(time.Millisecond)           // want "\\[wallclock\\] call to time\\.After arms a wall-clock timer"
+	_ = time.NewTimer(time.Millisecond)      // want "\\[wallclock\\] call to time\\.NewTimer arms a wall-clock timer"
+	_ = time.NewTicker(time.Millisecond)     // want "\\[wallclock\\] call to time\\.NewTicker arms a wall-clock timer"
+	_ = time.Tick(time.Millisecond)          // want "\\[wallclock\\] call to time\\.Tick arms a wall-clock timer"
+	_ = time.AfterFunc(time.Hour, func() {}) // want "\\[wallclock\\] call to time\\.AfterFunc arms a wall-clock timer"
+}
+
+// watchdogTimer pins the one sanctioned timer idiom: the scheduler's
+// stall watchdog probes real time to notice cells whose VIRTUAL clock
+// stopped advancing. The annotation pattern below is the exact shape
+// internal/bench/scheduler.go uses; keep them in sync.
+func watchdogTimer(probe time.Duration) {
+	//greenlint:allow wallclock watchdog probe timer is operator-facing real time; stall decisions depend only on virtual progress
+	ticker := time.NewTicker(probe)
+	defer ticker.Stop()
+	<-ticker.C
+}
