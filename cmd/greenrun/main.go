@@ -59,7 +59,7 @@ func main() {
 	}
 	ds.Name = *dataPath
 
-	train, test := greenautoml.Split(ds, *splitSeed)
+	train, test := greenautoml.Split(ds.Frame(), *splitSeed)
 
 	machine := greenautoml.CPUTestbed()
 	if *gpu {
@@ -80,12 +80,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "greenrun:", err)
 		os.Exit(1)
 	}
-	pred, err := res.Predict(test.X, meter)
+	pred, err := res.Predict(test, meter)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "greenrun:", err)
 		os.Exit(1)
 	}
-	acc := greenautoml.BalancedAccuracy(test.Y, pred, test.Classes)
+	acc := greenautoml.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes())
 	report := meter.Tracker().Snapshot()
 
 	fmt.Printf("dataset:            %s (%d rows, %d features, %d classes)\n", ds.Name, ds.Rows(), ds.Features(), ds.Classes)

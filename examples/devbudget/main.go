@@ -52,11 +52,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			pred, err := res.Predict(test.X, meter)
+			pred, err := res.Predict(test, meter)
 			if err != nil {
 				log.Fatal(err)
 			}
-			acc := greenautoml.BalancedAccuracy(test.Y, pred, test.Classes)
+			acc := greenautoml.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes())
 			*entry.acc += acc
 			*entry.kwh += res.ExecKWh
 			fmt.Printf("%-10s %-8s bal.acc %.4f  exec %.6f kWh\n", name, entry.label, acc, res.ExecKWh)

@@ -42,12 +42,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", v.name, err)
 		}
-		pred, err := res.Predict(test.X, meter)
+		pred, err := res.Predict(test, meter)
 		if err != nil {
 			log.Fatalf("%s: %v", v.name, err)
 		}
-		acc := greenautoml.BalancedAccuracy(test.Y, pred, test.Classes)
-		perInst := meter.Tracker().KWh(greenautoml.StageInference) / float64(len(test.X))
+		acc := greenautoml.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes())
+		perInst := meter.Tracker().KWh(greenautoml.StageInference) / float64(test.Rows())
 		saving := ""
 		if i == 0 {
 			baseline = perInst

@@ -46,15 +46,15 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", c.name, err)
 		}
-		pred, err := res.Predict(test.X, meter)
+		pred, err := res.Predict(test, meter)
 		if err != nil {
 			log.Fatalf("%s: %v", c.name, err)
 		}
 		rows = append(rows, measured{
 			name:         c.name,
-			accuracy:     greenautoml.BalancedAccuracy(test.Y, pred, test.Classes),
+			accuracy:     greenautoml.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes()),
 			execKWh:      meter.Tracker().KWh(greenautoml.StageExecution),
-			inferPerInst: meter.Tracker().KWh(greenautoml.StageInference) / float64(len(test.X)),
+			inferPerInst: meter.Tracker().KWh(greenautoml.StageInference) / float64(test.Rows()),
 		})
 	}
 

@@ -31,11 +31,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	pred, err := result.Predict(test.X, meter)
+	pred, err := result.Predict(test, meter)
 	if err != nil {
 		log.Fatal(err)
 	}
-	acc := greenautoml.BalancedAccuracy(test.Y, pred, test.Classes)
+	acc := greenautoml.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes())
 
 	report := meter.Tracker().Snapshot()
 	fmt.Printf("system:             %s\n", result.System)
@@ -43,7 +43,7 @@ func main() {
 	fmt.Printf("actual search time: %s (budget 30s)\n", result.ExecTime.Round(10*time.Millisecond))
 	fmt.Printf("balanced accuracy:  %.4f\n", acc)
 	fmt.Printf("execution energy:   %.6f kWh\n", report.ExecutionKWh)
-	fmt.Printf("inference energy:   %.9f kWh for %d predictions\n", report.InferenceKWh, len(test.X))
+	fmt.Printf("inference energy:   %.9f kWh for %d predictions\n", report.InferenceKWh, test.Rows())
 	fmt.Printf("total CO2:          %.6f kg (German grid)\n", report.CO2Kg())
 	fmt.Printf("total cost:         %.6f EUR\n", report.CostEUR())
 }

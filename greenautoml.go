@@ -26,7 +26,7 @@
 //		Meter:  meter,
 //		Seed:   42,
 //	})
-//	// result.Predict(test.X, meter) charges inference energy to the meter.
+//	// result.Predict(test, meter) charges inference energy to the meter.
 package greenautoml
 
 import (
@@ -56,8 +56,11 @@ type (
 	Meter = energy.Meter
 	// Machine models a hardware testbed.
 	Machine = hw.Machine
-	// Table carries a dataset.
-	Table = tabular.Dataset
+	// Table carries a dataset in columnar form.
+	Table = tabular.Frame
+	// View is a zero-copy row subset of a Table; fit and predict
+	// consume views.
+	View = tabular.View
 	// EnergyReport is a per-stage energy snapshot with CO₂/cost
 	// conversions.
 	EnergyReport = energy.Report
@@ -137,10 +140,11 @@ func DatasetNames() []string {
 	return names
 }
 
-// Split produces the paper's 66/34 stratified train/test split.
-func Split(ds *Table, seed uint64) (train, test *Table) {
+// Split produces the paper's 66/34 stratified train/test split as
+// zero-copy views over the table.
+func Split(ds *Table, seed uint64) (train, test View) {
 	rng := rand.New(rand.NewPCG(seed, 0x511))
-	return ds.TrainTestSplit(rng)
+	return ds.All().TrainTestSplit(rng)
 }
 
 // BalancedAccuracy is the study's predictive metric: mean per-class

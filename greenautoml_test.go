@@ -53,11 +53,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred, err := res.Predict(test.X, meter)
+	pred, err := res.Predict(test, meter)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := BalancedAccuracy(test.Y, pred, test.Classes); acc < 0.5 {
+	if acc := BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes()); acc < 0.5 {
 		t.Errorf("balanced accuracy %.3f", acc)
 	}
 	report := meter.Tracker().Snapshot()

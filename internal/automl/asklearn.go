@@ -46,7 +46,7 @@ func (a *AutoSklearn) Name() string { return fmt.Sprintf("AutoSklearn%d", a.Vers
 func (a *AutoSklearn) MinBudget() time.Duration { return 30 * time.Second }
 
 // Fit implements System.
-func (a *AutoSklearn) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
+func (a *AutoSklearn) Fit(train tabular.View, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, fmt.Errorf("asklearn: %w", err)
 	}
@@ -107,7 +107,7 @@ func (a *AutoSklearn) Fit(train *tabular.Dataset, opts Options) (*Result, error)
 		return tracker.finish(&Result{
 			System:    a.Name(),
 			Predictor: newMajorityPredictor(train),
-			Classes:   train.Classes,
+			Classes:   train.Classes(),
 		}), nil
 	}
 
@@ -130,7 +130,7 @@ func (a *AutoSklearn) Fit(train *tabular.Dataset, opts Options) (*Result, error)
 		valProbas[i] = ev.valProba
 		members[i] = ev.pipe
 	}
-	caruana, err := ensemble.CaruanaSelect(valProbas, val.Y, val.Classes, rounds)
+	caruana, err := ensemble.CaruanaSelect(valProbas, val.LabelsInto(nil), val.Classes(), rounds)
 	if err != nil {
 		return nil, fmt.Errorf("asklearn: ensembling: %w", err)
 	}
@@ -140,7 +140,7 @@ func (a *AutoSklearn) Fit(train *tabular.Dataset, opts Options) (*Result, error)
 	return tracker.finish(&Result{
 		System:    a.Name(),
 		Predictor: &ensemble.Weighted{Members: members, Weights: caruana.Weights},
-		Classes:   train.Classes,
+		Classes:   train.Classes(),
 		Evaluated: len(evals),
 		ValScore:  caruana.Score,
 	}), nil
@@ -161,8 +161,8 @@ func (a *AutoSklearn) ensembleSize() int {
 // recalibrated and rescored against the validation set. This work — not
 // the Caruana loop itself — is why auto-sklearn's runs overshoot the
 // search budget so badly on large validation sets (paper §3.10, Table 7).
-func (a *AutoSklearn) chargeEnsembleBuild(meter *energy.Meter, candidates int, val *tabular.Dataset) {
-	perCandidate := 600e3 * float64(val.Rows()) / 64 * float64(max(val.Classes, 2))
+func (a *AutoSklearn) chargeEnsembleBuild(meter *energy.Meter, candidates int, val tabular.View) {
+	perCandidate := 600e3 * float64(val.Rows()) / 64 * float64(max(val.Classes(), 2))
 	meter.Run(energy.Execution, hw.Work{
 		FLOPs:        float64(candidates) * perCandidate,
 		Kind:         hw.KindGeneric,
@@ -170,7 +170,7 @@ func (a *AutoSklearn) chargeEnsembleBuild(meter *energy.Meter, candidates int, v
 	})
 }
 
-func (a *AutoSklearn) tryEvaluate(cfg pipeline.Config, spec pipeline.SpaceSpec, fitTrain, val *tabular.Dataset, opts Options, bo *search.BO, evals *[]evaluation, rng *rand.Rand) {
+func (a *AutoSklearn) tryEvaluate(cfg pipeline.Config, spec pipeline.SpaceSpec, fitTrain, val tabular.View, opts Options, bo *search.BO, evals *[]evaluation, rng *rand.Rand) {
 	p, err := spec.Build(cfg, fitTrain.Features())
 	if err != nil {
 		bo.Observe(cfg, 0)

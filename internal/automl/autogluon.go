@@ -175,7 +175,7 @@ func stackCandidates(gpu bool) []agCandidate {
 }
 
 // Fit implements System.
-func (g *AutoGluon) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
+func (g *AutoGluon) Fit(train tabular.View, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, fmt.Errorf("autogluon: %w", err)
 	}
@@ -221,7 +221,7 @@ func (g *AutoGluon) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 		return tracker.finish(&Result{
 			System:    g.Name(),
 			Predictor: newMajorityPredictor(train),
-			Classes:   train.Classes,
+			Classes:   train.Classes(),
 		}), nil
 	}
 
@@ -237,16 +237,15 @@ func (g *AutoGluon) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 		for i, fb := range layer1 {
 			probas[i] = fb.bag.OOFProba
 		}
-		// Reconstruct the stacked training dataset from OOF order: the
-		// OOF rows correspond to the validation folds in order, so fit
-		// a fresh dataset from those rows.
+		// Reconstruct the stacked training frame from OOF order: the
+		// OOF rows correspond to the validation folds in order, so build
+		// a fresh columnar frame from those rows.
 		stackedX := ensemble.StackFeatures(layer1[0].bag.OOFRows, probas)
-		stacked := &tabular.Dataset{
-			Name:    train.Name + "+stack",
-			X:       stackedX,
-			Y:       oofLabels,
-			Classes: train.Classes,
-		}
+		stacked := tabular.FromRows(stackedX)
+		sf := stacked.Frame()
+		sf.Name = train.Name() + "+stack"
+		sf.Y = oofLabels
+		sf.Classes = train.Classes()
 		for _, cand := range stackCandidates(gpu) {
 			if lastBagSeq > remainingPlan() {
 				break
@@ -302,9 +301,9 @@ func (g *AutoGluon) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 		}
 		valProbas[i] = aligned
 	}
-	uniform := make([]float64, train.Classes)
+	uniform := make([]float64, train.Classes())
 	for j := range uniform {
-		uniform[j] = 1 / float64(train.Classes)
+		uniform[j] = 1 / float64(train.Classes())
 	}
 	for _, aligned := range valProbas {
 		for i, row := range aligned {
@@ -313,7 +312,7 @@ func (g *AutoGluon) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 			}
 		}
 	}
-	caruana, err := ensemble.CaruanaSelect(valProbas, train.Y, train.Classes, 8)
+	caruana, err := ensemble.CaruanaSelect(valProbas, train.LabelsInto(nil), train.Classes(), 8)
 	if err != nil {
 		return nil, fmt.Errorf("autogluon: weighting: %w", err)
 	}
@@ -365,7 +364,7 @@ func (g *AutoGluon) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	return tracker.finish(&Result{
 		System:    g.Name(),
 		Predictor: &ensemble.Weighted{Members: members, Weights: caruana.Weights},
-		Classes:   train.Classes,
+		Classes:   train.Classes(),
 		Evaluated: len(all) * folds,
 		ValScore:  caruana.Score,
 	}), nil
@@ -419,7 +418,7 @@ func (g *AutoGluon) protoFor(name string) func() *pipeline.Pipeline {
 	return nil
 }
 
-// stackedPredictor feeds raw rows through the layer-1 bags to build the
+// stackedPredictor feeds the input through the layer-1 bags to build the
 // stacked features, then predicts with the layer-2 bag. Its inference cost
 // therefore includes every base model — the structural reason stacking
 // multiplies inference energy (Observation O1).
@@ -429,7 +428,7 @@ type stackedPredictor struct {
 }
 
 // PredictProba implements ensemble.Predictor.
-func (s *stackedPredictor) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
+func (s *stackedPredictor) PredictProba(x tabular.View) ([][]float64, ml.Cost) {
 	var cost ml.Cost
 	probas := make([][][]float64, len(s.base))
 	for i, b := range s.base {
@@ -437,8 +436,8 @@ func (s *stackedPredictor) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
 		cost.Add(c)
 		probas[i] = p
 	}
-	stacked := ensemble.StackFeatures(x, probas)
-	out, c := s.bag.PredictProba(stacked)
+	stacked := ensemble.StackFeatures(x.MaterializeRows(), probas)
+	out, c := s.bag.PredictProba(tabular.FromRows(stacked))
 	cost.Add(c)
 	return out, cost
 }

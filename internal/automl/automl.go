@@ -69,7 +69,7 @@ type System interface {
 	// paper benchmarks ASKL only from 30s and TPOT from 1 minute).
 	MinBudget() time.Duration
 	// Fit searches for a pipeline (or ensemble) on the training data.
-	Fit(train *tabular.Dataset, opts Options) (*Result, error)
+	Fit(train tabular.View, opts Options) (*Result, error)
 }
 
 // Result is the outcome of one AutoML execution.
@@ -97,9 +97,9 @@ type Result struct {
 	GPUInference bool
 }
 
-// Predict classifies raw rows, charging the inference cost to the meter's
-// inference stage.
-func (r *Result) Predict(x [][]float64, meter *energy.Meter) ([]int, error) {
+// Predict classifies the viewed rows, charging the inference cost to the
+// meter's inference stage.
+func (r *Result) Predict(x tabular.View, meter *energy.Meter) ([]int, error) {
 	proba, err := r.PredictProba(x, meter)
 	if err != nil {
 		return nil, err
@@ -108,7 +108,7 @@ func (r *Result) Predict(x [][]float64, meter *energy.Meter) ([]int, error) {
 }
 
 // PredictProba returns class probabilities, charging inference energy.
-func (r *Result) PredictProba(x [][]float64, meter *energy.Meter) ([][]float64, error) {
+func (r *Result) PredictProba(x tabular.View, meter *energy.Meter) ([][]float64, error) {
 	if r.Predictor == nil {
 		return nil, fmt.Errorf("automl: %s produced no predictor", r.System)
 	}
@@ -176,8 +176,9 @@ func (r run) finish(res *Result) *Result {
 	return res
 }
 
-// holdoutSplit produces the system's internal train/validation split.
-func holdoutSplit(ds *tabular.Dataset, valFrac float64, rng *rand.Rand) (train, val *tabular.Dataset) {
+// holdoutSplit produces the system's internal train/validation split as
+// index views over the shared frame — no matrix copies.
+func holdoutSplit(ds tabular.View, valFrac float64, rng *rand.Rand) (train, val tabular.View) {
 	val, train = ds.StratifiedSplit(valFrac, rng)
 	return train, val
 }
@@ -195,16 +196,16 @@ type evaluation struct {
 // all compute to the meter's execution stage. A training failure returns
 // ok == false (the candidate is discarded, mirroring pipelines that crash
 // or exceed memory in the real systems).
-func evaluatePipeline(p *pipeline.Pipeline, train, val *tabular.Dataset, meter *energy.Meter, rng *rand.Rand) (evaluation, bool) {
+func evaluatePipeline(p *pipeline.Pipeline, train, val tabular.View, meter *energy.Meter, rng *rand.Rand) (evaluation, bool) {
 	fitCost, err := p.Fit(train, rng)
 	fitTime := chargeCost(meter, energy.Execution, fitCost, p.ParallelFrac())
 	if err != nil {
 		return evaluation{}, false
 	}
-	proba, predCost := p.PredictProba(val.X)
+	proba, predCost := p.PredictProba(val)
 	fitTime += chargeCost(meter, energy.Execution, predCost, p.ParallelFrac())
 	labels := metrics.ArgmaxRows(proba)
-	score := metrics.BalancedAccuracy(val.Y, labels, val.Classes)
+	score := metrics.BalancedAccuracy(val.LabelsInto(nil), labels, val.Classes())
 	return evaluation{pipe: p, score: score, valProba: proba, fitTime: fitTime}, true
 }
 
@@ -216,11 +217,11 @@ func singlePredictor(p *pipeline.Pipeline) ensemble.Predictor { return p }
 // produced no usable model (AMLB's constant-predictor semantics). The
 // result carries the failing system's name so reports attribute the
 // fallback correctly.
-func MajorityResult(system string, train *tabular.Dataset) *Result {
+func MajorityResult(system string, train tabular.View) *Result {
 	return &Result{
 		System:    system,
 		Predictor: newMajorityPredictor(train),
-		Classes:   train.Classes,
+		Classes:   train.Classes(),
 	}
 }
 
@@ -232,7 +233,7 @@ type majorityPredictor struct {
 	label   int
 }
 
-func newMajorityPredictor(ds *tabular.Dataset) *majorityPredictor {
+func newMajorityPredictor(ds tabular.View) *majorityPredictor {
 	counts := ds.ClassCounts()
 	best := 0
 	for c, n := range counts {
@@ -240,16 +241,17 @@ func newMajorityPredictor(ds *tabular.Dataset) *majorityPredictor {
 			best = c
 		}
 	}
-	return &majorityPredictor{classes: ds.Classes, label: best}
+	return &majorityPredictor{classes: ds.Classes(), label: best}
 }
 
 // PredictProba implements ensemble.Predictor.
-func (m *majorityPredictor) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
+func (m *majorityPredictor) PredictProba(x tabular.View) ([][]float64, ml.Cost) {
+	n := x.Rows()
+	out := make([][]float64, n)
 	for i := range out {
 		row := make([]float64, m.classes)
 		row[m.label] = 1
 		out[i] = row
 	}
-	return out, ml.Cost{Generic: float64(len(x))}
+	return out, ml.Cost{Generic: float64(n)}
 }

@@ -14,7 +14,7 @@ import (
 	"repro/internal/tabular"
 )
 
-func loadTrainTest(t *testing.T, name string, seed uint64) (*tabular.Dataset, *tabular.Dataset) {
+func loadTrainTest(t *testing.T, name string, seed uint64) (tabular.View, tabular.View) {
 	t.Helper()
 	spec, ok := openml.ByName(name)
 	if !ok {
@@ -22,10 +22,10 @@ func loadTrainTest(t *testing.T, name string, seed uint64) (*tabular.Dataset, *t
 	}
 	ds := openml.Generate(spec, openml.SmallScale(), seed)
 	rng := newTestRNG(seed)
-	return ds.TrainTestSplit(rng)
+	return ds.All().TrainTestSplit(rng)
 }
 
-func fitOn(t *testing.T, sys System, train *tabular.Dataset, budget time.Duration, seed uint64) (*Result, *energy.Meter) {
+func fitOn(t *testing.T, sys System, train tabular.View, budget time.Duration, seed uint64) (*Result, *energy.Meter) {
 	t.Helper()
 	meter := energy.NewMeter(hw.XeonGold6132(), 1)
 	res, err := sys.Fit(train, Options{Budget: budget, Meter: meter, Seed: seed})
@@ -81,8 +81,8 @@ func TestTabPFNClassLimit(t *testing.T) {
 		many.X = append(many.X, []float64{6*float64(c) + rng.NormFloat64()})
 		many.Y = append(many.Y, c)
 	}
-	res, meter := fitOn(t, NewTabPFN(), many, time.Second, 6)
-	pred, err := res.Predict(many.X, meter)
+	res, meter := fitOn(t, NewTabPFN(), many.View(), time.Second, 6)
+	pred, err := res.Predict(many.View(), meter)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +98,11 @@ func TestTabPFNClassLimit(t *testing.T) {
 func TestTabPFNInferenceEnergyProfile(t *testing.T) {
 	train, test := loadTrainTest(t, "phoneme", 7)
 	pfnRes, pfnMeter := fitOn(t, NewTabPFN(), train, time.Second, 8)
-	if _, err := pfnRes.Predict(test.X, pfnMeter); err != nil {
+	if _, err := pfnRes.Predict(test, pfnMeter); err != nil {
 		t.Fatal(err)
 	}
 	camlRes, camlMeter := fitOn(t, NewCAML(), train, 30*time.Second, 8)
-	if _, err := camlRes.Predict(test.X, camlMeter); err != nil {
+	if _, err := camlRes.Predict(test, camlMeter); err != nil {
 		t.Fatal(err)
 	}
 	pfnInfer := pfnMeter.Tracker().KWh(energy.Inference)
@@ -129,11 +129,11 @@ func TestTabPFNInferenceEnergyProfile(t *testing.T) {
 func TestEnsembleInferenceCost(t *testing.T) {
 	train, test := loadTrainTest(t, "sylvine", 9)
 	agRes, agMeter := fitOn(t, NewAutoGluon(), train, 30*time.Second, 10)
-	if _, err := agRes.Predict(test.X, agMeter); err != nil {
+	if _, err := agRes.Predict(test, agMeter); err != nil {
 		t.Fatal(err)
 	}
 	flamlRes, flamlMeter := fitOn(t, NewFLAML(), train, 30*time.Second, 10)
-	if _, err := flamlRes.Predict(test.X, flamlMeter); err != nil {
+	if _, err := flamlRes.Predict(test, flamlMeter); err != nil {
 		t.Fatal(err)
 	}
 	agInfer := agMeter.Tracker().KWh(energy.Inference)
@@ -149,11 +149,11 @@ func TestEnsembleInferenceCost(t *testing.T) {
 func TestAutoGluonRefitPresetSavesInference(t *testing.T) {
 	train, test := loadTrainTest(t, "vehicle", 11)
 	quality, qMeter := fitOn(t, NewAutoGluon(), train, 30*time.Second, 12)
-	if _, err := quality.Predict(test.X, qMeter); err != nil {
+	if _, err := quality.Predict(test, qMeter); err != nil {
 		t.Fatal(err)
 	}
 	fast, fMeter := fitOn(t, NewAutoGluonFastInference(), train, 30*time.Second, 12)
-	if _, err := fast.Predict(test.X, fMeter); err != nil {
+	if _, err := fast.Predict(test, fMeter); err != nil {
 		t.Fatal(err)
 	}
 	qInfer := qMeter.Tracker().KWh(energy.Inference)
@@ -168,13 +168,13 @@ func TestAutoGluonRefitPresetSavesInference(t *testing.T) {
 func TestCAMLInferenceConstraint(t *testing.T) {
 	train, test := loadTrainTest(t, "mfeat-factors", 13)
 	free, freeMeter := fitOn(t, NewCAML(), train, 30*time.Second, 14)
-	if _, err := free.Predict(test.X, freeMeter); err != nil {
+	if _, err := free.Predict(test, freeMeter); err != nil {
 		t.Fatal(err)
 	}
 	params := DefaultCAMLParams()
 	params.InferenceLimit = 100 * time.Microsecond
 	constrained, conMeter := fitOn(t, &CAML{Params: params, Label: "CAML(c)"}, train, 30*time.Second, 14)
-	if _, err := constrained.Predict(test.X, conMeter); err != nil {
+	if _, err := constrained.Predict(test, conMeter); err != nil {
 		t.Fatal(err)
 	}
 	freeInfer := freeMeter.Tracker().KWh(energy.Inference)
@@ -185,7 +185,7 @@ func TestCAMLInferenceConstraint(t *testing.T) {
 	// The constraint must actually hold on the returned pipeline.
 	machine := hw.XeonGold6132()
 	if p, ok := constrained.Predictor.(*pipeline.Pipeline); ok {
-		_, cost := p.PredictProba(test.X[:8])
+		_, cost := p.PredictProba(test.Head(8))
 		var perInst time.Duration
 		for _, w := range cost.Works(0) {
 			perInst += machine.Duration(w, 1)
@@ -213,11 +213,11 @@ func TestDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			pred, err := res.Predict(test.X, meter)
+			pred, err := res.Predict(test, meter)
 			if err != nil {
 				t.Fatal(err)
 			}
-			return metrics.BalancedAccuracy(test.Y, pred, test.Classes), meter.Tracker().TotalKWh()
+			return metrics.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes()), meter.Tracker().TotalKWh()
 		}
 		acc1, kwh1 := runOnce()
 		acc2, kwh2 := runOnce()

@@ -124,7 +124,7 @@ func (c *CAML) Name() string {
 func (c *CAML) MinBudget() time.Duration { return 0 }
 
 // Fit implements System.
-func (c *CAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
+func (c *CAML) Fit(train tabular.View, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, fmt.Errorf("caml: %w", err)
 	}
@@ -201,7 +201,7 @@ func (c *CAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 		return tracker.finish(&Result{
 			System:    c.Name(),
 			Predictor: newMajorityPredictor(train),
-			Classes:   train.Classes,
+			Classes:   train.Classes(),
 		}), nil
 	}
 
@@ -222,7 +222,7 @@ func (c *CAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	return tracker.finish(&Result{
 		System:    c.Name(),
 		Predictor: singlePredictor(final),
-		Classes:   train.Classes,
+		Classes:   train.Classes(),
 		Evaluated: evaluated,
 		ValScore:  best.score,
 	}), nil
@@ -231,7 +231,7 @@ func (c *CAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 // evaluateIncremental trains one configuration, either directly or through
 // successive-halving incremental training, pruning on budget, estimated
 // overrun, and constraint violation.
-func (c *CAML) evaluateIncremental(cfg pipeline.Config, fitTrain, val *tabular.Dataset, params CAMLParams, opts Options, budget *vclock.Budget, evalCap time.Duration, rng *rand.Rand) (evaluation, bool) {
+func (c *CAML) evaluateIncremental(cfg pipeline.Config, fitTrain, val tabular.View, params CAMLParams, opts Options, budget *vclock.Budget, evalCap time.Duration, rng *rand.Rand) (evaluation, bool) {
 	build := func() (*pipeline.Pipeline, bool) {
 		p, err := params.Spec.Build(cfg, fitTrain.Features())
 		return p, err == nil
@@ -311,7 +311,7 @@ func (c *CAML) evaluateIncremental(cfg pipeline.Config, fitTrain, val *tabular.D
 // evaluateCV scores one configuration by k-fold cross-validation under the
 // same capped-deadline regime as hold-out evaluation. The returned
 // evaluation carries the last fold's fitted pipeline and the mean score.
-func (c *CAML) evaluateCV(cfg pipeline.Config, working *tabular.Dataset, params CAMLParams, opts Options, budget *vclock.Budget, evalCap time.Duration, rng *rand.Rand) (evaluation, bool) {
+func (c *CAML) evaluateCV(cfg pipeline.Config, working tabular.View, params CAMLParams, opts Options, budget *vclock.Budget, evalCap time.Duration, rng *rand.Rand) (evaluation, bool) {
 	trains, vals := working.KFold(params.CVFolds, rng)
 	var scoreSum float64
 	var spent time.Duration
@@ -345,27 +345,27 @@ func (c *CAML) evaluateCV(cfg pipeline.Config, working *tabular.Dataset, params 
 // deadline: work beyond the cap is charged only up to the cap and the
 // evaluation reports failure, mirroring CAML killing the evaluation
 // process at the deadline.
-func (c *CAML) evaluateCapped(p *pipeline.Pipeline, train, val *tabular.Dataset, opts Options, cap time.Duration, rng *rand.Rand) (evaluation, bool) {
+func (c *CAML) evaluateCapped(p *pipeline.Pipeline, train, val tabular.View, opts Options, cap time.Duration, rng *rand.Rand) (evaluation, bool) {
 	fitCost, err := p.Fit(train, rng)
 	fitTime, truncated := chargeCostCapped(opts.Meter, energy.Execution, fitCost, p.ParallelFrac(), cap)
 	if err != nil || truncated {
 		return evaluation{fitTime: fitTime}, false
 	}
-	proba, predCost := p.PredictProba(val.X)
+	proba, predCost := p.PredictProba(val)
 	predTime, truncated := chargeCostCapped(opts.Meter, energy.Execution, predCost, p.ParallelFrac(), cap-fitTime)
 	fitTime += predTime
 	if truncated {
 		return evaluation{fitTime: fitTime}, false
 	}
 	labels := metrics.ArgmaxRows(proba)
-	score := metrics.BalancedAccuracy(val.Y, labels, val.Classes)
+	score := metrics.BalancedAccuracy(val.LabelsInto(nil), labels, val.Classes())
 	return evaluation{pipe: p, score: score, valProba: proba, fitTime: fitTime}, true
 }
 
 // objective scores an evaluation for model selection: validation balanced
 // accuracy, optionally penalized by the candidate's per-instance inference
 // energy (paper §1's energy-aware objective).
-func (c *CAML) objective(ev *evaluation, val *tabular.Dataset, params CAMLParams, meter *energy.Meter) float64 {
+func (c *CAML) objective(ev *evaluation, val tabular.View, params CAMLParams, meter *energy.Meter) float64 {
 	if params.EnergyWeight <= 0 {
 		return ev.score
 	}
@@ -376,12 +376,9 @@ func (c *CAML) objective(ev *evaluation, val *tabular.Dataset, params CAMLParams
 // inferenceJoulesPerInstance dry-runs a small probe batch through the
 // candidate and converts the cost to joules per instance on the meter's
 // machine (not billed — an estimate, like the constraint check).
-func (c *CAML) inferenceJoulesPerInstance(ev *evaluation, val *tabular.Dataset, meter *energy.Meter) float64 {
-	probe := val.X
-	if len(probe) > 32 {
-		probe = probe[:32]
-	}
-	if len(probe) == 0 {
+func (c *CAML) inferenceJoulesPerInstance(ev *evaluation, val tabular.View, meter *energy.Meter) float64 {
+	probe := val.Head(32)
+	if probe.Rows() == 0 {
 		return 0
 	}
 	_, cost := ev.pipe.PredictProba(probe)
@@ -390,20 +387,17 @@ func (c *CAML) inferenceJoulesPerInstance(ev *evaluation, val *tabular.Dataset, 
 		d := meter.Machine().Duration(w, 1)
 		joules += meter.Machine().Energy(d, 1, false, false)
 	}
-	return joules / float64(len(probe))
+	return joules / float64(probe.Rows())
 }
 
 // satisfiesConstraint checks the per-instance inference-time constraint by
 // measuring the candidate's actual per-row inference duration on the
 // validation pass.
-func (c *CAML) satisfiesConstraint(ev *evaluation, val *tabular.Dataset, params CAMLParams, meter *energy.Meter) bool {
+func (c *CAML) satisfiesConstraint(ev *evaluation, val tabular.View, params CAMLParams, meter *energy.Meter) bool {
 	if params.InferenceLimit <= 0 {
 		return true
 	}
-	probe := val.X
-	if len(probe) > 32 {
-		probe = probe[:32]
-	}
+	probe := val.Head(32)
 	_, cost := ev.pipe.PredictProba(probe)
 	// Constraint checks use the machine model directly (a dry-run
 	// estimate), not the meter: the real CAML estimates inference time
@@ -412,7 +406,7 @@ func (c *CAML) satisfiesConstraint(ev *evaluation, val *tabular.Dataset, params 
 	for _, w := range cost.Works(0) {
 		perInstance += meter.Machine().Duration(w, 1)
 	}
-	perInstance = time.Duration(float64(perInstance) / math.Max(float64(len(probe)), 1))
+	perInstance = time.Duration(float64(perInstance) / math.Max(float64(probe.Rows()), 1))
 	return perInstance <= params.InferenceLimit
 }
 

@@ -19,14 +19,14 @@ func TestEarlyStoppingSavesEnergy(t *testing.T) {
 	train, test := loadTrainTest(t, "blood-transfusion-service-center", 31)
 
 	full, fullMeter := fitOn(t, NewCAML(), train, time.Minute, 32)
-	if _, err := full.Predict(test.X, fullMeter); err != nil {
+	if _, err := full.Predict(test, fullMeter); err != nil {
 		t.Fatal(err)
 	}
 
 	params := DefaultCAMLParams()
 	params.EarlyStopPatience = 8
 	early, earlyMeter := fitOn(t, &CAML{Params: params, Label: "CAML(early)"}, train, time.Minute, 32)
-	if _, err := early.Predict(test.X, earlyMeter); err != nil {
+	if _, err := early.Predict(test, earlyMeter); err != nil {
 		t.Fatal(err)
 	}
 
@@ -106,7 +106,7 @@ func TestFLAMLStartsCheap(t *testing.T) {
 	}
 	// The returned model's inference must be frugal (a few thousand
 	// FLOPs per instance at most for NB/tree-class models).
-	proba, cost := res.Predictor.PredictProba(train.X[:16])
+	proba, cost := res.Predictor.PredictProba(train.Head(16))
 	if proba == nil {
 		t.Fatal("no predictions")
 	}
@@ -141,11 +141,11 @@ func TestCAMLCrossValidation(t *testing.T) {
 	params.CVFolds = 3
 	params.Incremental = false
 	cv, cvMeter := fitOn(t, &CAML{Params: params, Label: "CAML(cv)"}, train, 20*time.Second, 42)
-	pred, err := cv.Predict(test.X, cvMeter)
+	pred, err := cv.Predict(test, cvMeter)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := metrics.BalancedAccuracy(test.Y, pred, test.Classes); acc < 0.5 {
+	if acc := metrics.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes()); acc < 0.5 {
 		t.Errorf("CV-evaluated CAML accuracy %.3f", acc)
 	}
 	holdParams := DefaultCAMLParams()

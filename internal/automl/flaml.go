@@ -62,7 +62,7 @@ func lowComplexityConfig(space *pipeline.Space, complexity float64) pipeline.Con
 }
 
 // Fit implements System.
-func (f *FLAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
+func (f *FLAML) Fit(train tabular.View, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, fmt.Errorf("flaml: %w", err)
 	}
@@ -91,7 +91,7 @@ func (f *FLAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	}
 
 	// Sample-size schedule: start tiny, double when progress stalls.
-	sampleRows := 10 * train.Classes
+	sampleRows := 10 * train.Classes()
 	if sampleRows > fitTrain.Rows() {
 		sampleRows = fitTrain.Rows()
 	}
@@ -165,13 +165,13 @@ func (f *FLAML) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 		return tracker.finish(&Result{
 			System:    f.Name(),
 			Predictor: newMajorityPredictor(train),
-			Classes:   train.Classes,
+			Classes:   train.Classes(),
 		}), nil
 	}
 	return tracker.finish(&Result{
 		System:    f.Name(),
 		Predictor: singlePredictor(best.pipe),
-		Classes:   train.Classes,
+		Classes:   train.Classes(),
 		Evaluated: evaluated,
 		ValScore:  best.score,
 	}), nil

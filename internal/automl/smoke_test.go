@@ -20,7 +20,7 @@ func TestSystemsSmoke(t *testing.T) {
 	}
 	ds := openml.Generate(spec, openml.SmallScale(), 1)
 	rng := newTestRNG(7)
-	train, test := ds.TrainTestSplit(rng)
+	train, test := ds.All().TrainTestSplit(rng)
 
 	systems := []System{
 		NewCAML(),
@@ -54,11 +54,11 @@ func TestSystemsSmoke(t *testing.T) {
 			if res.ExecTime <= 0 {
 				t.Errorf("execution consumed no virtual time")
 			}
-			pred, err := res.Predict(test.X, meter)
+			pred, err := res.Predict(test, meter)
 			if err != nil {
 				t.Fatalf("Predict: %v", err)
 			}
-			acc := metrics.BalancedAccuracy(test.Y, pred, test.Classes)
+			acc := metrics.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes())
 			t.Logf("%s: bacc=%.3f exec=%s kwh=%.6f evaluated=%d", sys.Name(), acc, res.ExecTime, res.ExecKWh, res.Evaluated)
 			if acc < 0.5 {
 				t.Errorf("balanced accuracy %.3f not better than random on an easy binary task", acc)

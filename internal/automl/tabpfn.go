@@ -88,7 +88,7 @@ func (t *TabPFN) normalized() TabPFN {
 // Fit implements System. "Fitting" only loads the pretrained model and
 // memorizes (a subsample of) the training data; the paper measures this at
 // 0.29±0.01s regardless of the requested budget.
-func (t *TabPFN) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
+func (t *TabPFN) Fit(train tabular.View, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, fmt.Errorf("tabpfn: %w", err)
 	}
@@ -103,7 +103,7 @@ func (t *TabPFN) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	// TabPFN's execution *energy* above 1 at an execution *time* near 1).
 	meter.Run(energy.Execution, hw.Work{FLOPs: 580e3, Kind: hw.KindGeneric, ParallelFrac: 0.5})
 
-	if train.Classes > cfg.MaxClasses {
+	if train.Classes() > cfg.MaxClasses {
 		// The released implementation supports at most 10 classes; on
 		// tasks beyond the limit it cannot produce useful predictions
 		// (the paper notes TabPFN's low average score stems from
@@ -111,7 +111,7 @@ func (t *TabPFN) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 		return tracker.finish(&Result{
 			System:    t.Name(),
 			Predictor: newMajorityPredictor(train),
-			Classes:   train.Classes,
+			Classes:   train.Classes(),
 		}), nil
 	}
 
@@ -124,7 +124,7 @@ func (t *TabPFN) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	return tracker.finish(&Result{
 		System:       t.Name(),
 		Predictor:    pfn,
-		Classes:      train.Classes,
+		Classes:      train.Classes(),
 		Evaluated:    0, // no search
 		ValScore:     0, // no internal validation — zero-shot
 		GPUInference: true,
@@ -144,30 +144,33 @@ type pfnPredictor struct {
 	priorBoost []float64     // per-class balanced-prior correction
 }
 
-func newPFNPredictor(context *tabular.Dataset, cfg TabPFN) *pfnPredictor {
+func newPFNPredictor(context tabular.View, cfg TabPFN) *pfnPredictor {
 	d := context.Features()
-	p := &pfnPredictor{cfg: cfg, classes: context.Classes, labels: context.Y}
+	p := &pfnPredictor{cfg: cfg, classes: context.Classes(), labels: context.LabelsInto(nil)}
 
-	// Internal standardization (the released TabPFN z-scores inputs).
+	// Internal standardization (the released TabPFN z-scores inputs),
+	// accumulated column-wise over the view; each moment sums its rows in
+	// ascending order, matching the row-major loop bit for bit.
 	p.mean = make([]float64, d)
 	p.std = make([]float64, d)
 	n := float64(context.Rows())
-	for _, row := range context.X {
-		for j, v := range row {
-			p.mean[j] += v
+	var colBuf []float64
+	if !context.Contiguous() {
+		colBuf = make([]float64, context.Rows())
+	}
+	for j := 0; j < d; j++ {
+		col := context.ColInto(j, colBuf)
+		var sum float64
+		for _, v := range col {
+			sum += v
 		}
-	}
-	for j := range p.mean {
-		p.mean[j] /= n
-	}
-	for _, row := range context.X {
-		for j, v := range row {
+		p.mean[j] = sum / n
+		var sq float64
+		for _, v := range col {
 			diff := v - p.mean[j]
-			p.std[j] += diff * diff
+			sq += diff * diff
 		}
-	}
-	for j := range p.std {
-		p.std[j] = math.Sqrt(p.std[j] / n)
+		p.std[j] = math.Sqrt(sq / n)
 		if p.std[j] < 1e-9 {
 			p.std[j] = 1
 		}
@@ -184,7 +187,10 @@ func newPFNPredictor(context *tabular.Dataset, cfg TabPFN) *pfnPredictor {
 
 	// Precompute training-row embeddings (the "keys").
 	p.keys = make([][]float64, context.Rows())
-	for i, row := range context.X {
+	rowBuf := make([]float64, d)
+	for i := range p.keys {
+		row := context.Row(i, rowBuf)
+		rowBuf = row
 		p.keys[i] = p.embed(row)
 	}
 
@@ -198,9 +204,9 @@ func newPFNPredictor(context *tabular.Dataset, cfg TabPFN) *pfnPredictor {
 	// Balanced-prior correction: down-weight majority-class readout mass
 	// by the square root of the class prior.
 	counts := context.ClassCounts()
-	p.priorBoost = make([]float64, context.Classes)
+	p.priorBoost = make([]float64, context.Classes())
 	for c, cnt := range counts {
-		prior := (float64(cnt) + 1) / (n + float64(context.Classes))
+		prior := (float64(cnt) + 1) / (n + float64(context.Classes()))
 		p.priorBoost[c] = 1 / math.Sqrt(prior)
 	}
 	return p
@@ -277,13 +283,17 @@ func (p *pfnPredictor) embed(row []float64) []float64 {
 // PredictProba implements ensemble.Predictor: for each query the entire
 // training context is attended over in every layer — the structural reason
 // TabPFN's per-instance inference energy dwarfs every search-based system.
-func (p *pfnPredictor) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
+func (p *pfnPredictor) PredictProba(x tabular.View) ([][]float64, ml.Cost) {
 	nTrain := len(p.keys)
 	dim := p.cfg.ProjDim
-	out := make([][]float64, len(x))
+	m := x.Rows()
+	out := make([][]float64, m)
 	attn := make([]float64, nTrain)
+	rowBuf := make([]float64, x.Features())
 	twoBW := 2 * p.bandwidth * p.bandwidth
-	for qi, row := range x {
+	for qi := 0; qi < m; qi++ {
+		row := x.Row(qi, rowBuf)
+		rowBuf = row
 		q := p.embed(row)
 		for l := 1; l <= p.cfg.Layers; l++ {
 			// Distance-kernel attention against all training
@@ -344,8 +354,8 @@ func (p *pfnPredictor) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
 		smooth(proba)
 		out[qi] = proba
 	}
-	realFLOPs := float64(len(x)) * float64(p.cfg.Layers) * float64(nTrain) * float64(dim) * 6
-	realFLOPs += float64(len(x)) * float64(len(p.mean)) * float64(dim) * 2
+	realFLOPs := float64(m) * float64(p.cfg.Layers) * float64(nTrain) * float64(dim) * 6
+	realFLOPs += float64(m) * float64(len(p.mean)) * float64(dim) * 2
 	return out, ml.Cost{Matrix: realFLOPs * pfnVirtualScale}
 }
 

@@ -47,7 +47,7 @@ type tpotIndividual struct {
 }
 
 // Fit implements System.
-func (t *TPOT) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
+func (t *TPOT) Fit(train tabular.View, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, fmt.Errorf("tpot: %w", err)
 	}
@@ -145,7 +145,7 @@ func (t *TPOT) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 		return tracker.finish(&Result{
 			System:    t.Name(),
 			Predictor: newMajorityPredictor(train),
-			Classes:   train.Classes,
+			Classes:   train.Classes(),
 		}), nil
 	}
 
@@ -171,7 +171,7 @@ func (t *TPOT) Fit(train *tabular.Dataset, opts Options) (*Result, error) {
 	return tracker.finish(&Result{
 		System:    t.Name(),
 		Predictor: singlePredictor(final),
-		Classes:   train.Classes,
+		Classes:   train.Classes(),
 		Evaluated: evaluated,
 		ValScore:  best.score,
 	}), nil

@@ -260,7 +260,7 @@ func runGrid(systems []automl.System, cfg Config, journal *Journal) ([]Record, e
 
 // generateDataset materializes a dataset spec, retrying transient
 // injected generation faults under the cell retry policy.
-func generateDataset(spec openml.Spec, cfg Config, inj *faults.Injector) (*tabular.Dataset, error) {
+func generateDataset(spec openml.Spec, cfg Config, inj *faults.Injector) (*tabular.Frame, error) {
 	var lastErr error
 	for attempt := 0; attempt < cfg.Retry.MaxAttempts; attempt++ {
 		if err := inj.DatasetFault(spec.Name, cfg.Seed, attempt); err != nil {
@@ -275,7 +275,7 @@ func generateDataset(spec openml.Spec, cfg Config, inj *faults.Injector) (*tabul
 // safeFit invokes sys.Fit with panic recovery: a crashing trainer is
 // converted into a typed fit-panic error so one cell can never abort the
 // grid.
-func safeFit(sys automl.System, train *tabular.Dataset, opts automl.Options) (res *automl.Result, err error) {
+func safeFit(sys automl.System, train tabular.View, opts automl.Options) (res *automl.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -291,7 +291,7 @@ func safeFit(sys automl.System, train *tabular.Dataset, opts automl.Options) (re
 
 // safePredict invokes res.Predict with panic recovery, converting panics
 // into typed predict-error faults.
-func safePredict(res *automl.Result, x [][]float64, meter *energy.Meter) (pred []int, err error) {
+func safePredict(res *automl.Result, x tabular.View, meter *energy.Meter) (pred []int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			pred = nil
@@ -310,10 +310,10 @@ func safePredict(res *automl.Result, x [][]float64, meter *energy.Meter) (pred [
 // on the same meter (their energy stays charged), and exhausted retries
 // degrade to the majority-class fallback predictor so the cell still
 // yields a score.
-func runCell(sys automl.System, train, test *tabular.Dataset, budget time.Duration, cfg Config, seed uint64, inj *faults.Injector) Record {
+func runCell(sys automl.System, train, test tabular.View, budget time.Duration, cfg Config, seed uint64, inj *faults.Injector) Record {
 	rec := Record{
 		System:  sys.Name(),
-		Dataset: train.Name,
+		Dataset: train.Name(),
 		Budget:  budget,
 		Seed:    seed,
 	}
@@ -321,14 +321,14 @@ func runCell(sys automl.System, train, test *tabular.Dataset, budget time.Durati
 	execMeter.SetGPUMode(cfg.GPUMode)
 
 	var res *automl.Result
-	if oom := inj.CheckOOM(train.Name, train.Rows(), train.Features()); oom != nil {
+	if oom := inj.CheckOOM(train.Name(), train.Rows(), train.Features()); oom != nil {
 		// OOM is deterministic in the memory model; retrying cannot
 		// clear it, so the cell degrades immediately.
 		rec.Failure = faults.OOM
 	} else {
 		for attempt := 0; attempt < cfg.Retry.MaxAttempts; attempt++ {
 			rec.Attempts = attempt + 1
-			plan := inj.CellPlan(sys.Name(), train.Name, budget, seed, uint64(attempt))
+			plan := inj.CellPlan(sys.Name(), train.Name(), budget, seed, uint64(attempt))
 			// Attempt 0 keeps the historical seed derivation so
 			// fault-free grids reproduce pre-resilience records.
 			opts := automl.Options{Budget: budget, Meter: execMeter, Seed: cfg.Seed*31 + seed + uint64(attempt)*0x9e37}
@@ -379,7 +379,7 @@ func runCell(sys automl.System, train, test *tabular.Dataset, budget time.Durati
 			inferMeter.SetGPUMode(energy.GPUIdle)
 		}
 	}
-	pred, err := safePredict(res, test.X, inferMeter)
+	pred, err := safePredict(res, test, inferMeter)
 	if err != nil {
 		if rec.Failure == faults.None {
 			rec.Failure = faults.KindOf(err, faults.PredictError)
@@ -387,14 +387,14 @@ func runCell(sys automl.System, train, test *tabular.Dataset, budget time.Durati
 		// The execution measurements above survive this stage-level
 		// failure; only the score degrades to the fallback predictor.
 		fb := automl.MajorityResult(sys.Name(), train)
-		pred, err = safePredict(fb, test.X, inferMeter)
+		pred, err = safePredict(fb, test, inferMeter)
 		if err != nil {
 			return rec
 		}
 		rec.Fallback = true
 	}
-	rec.TestScore = metrics.BalancedAccuracy(test.Y, pred, test.Classes)
-	n := float64(len(test.X))
+	rec.TestScore = metrics.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes())
+	n := float64(test.Rows())
 	if n > 0 {
 		rec.InferKWhPerInst = inferMeter.Tracker().KWh(energy.Inference) / n
 		rec.InferTimePerInst = time.Duration(float64(inferMeter.Tracker().BusyTime(energy.Inference)) / n)

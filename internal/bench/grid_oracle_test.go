@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"repro/internal/automl"
+	"repro/internal/openml"
+)
+
+// gridOracleHash is the SHA-256 of the CSV export of the oracle grid
+// below, captured on the row-major substrate immediately before the
+// columnar Frame refactor. The grid output — scores, energy, virtual
+// times, evaluation counts — must stay byte-identical across the layout
+// change at every worker count: the refactor is allowed to change how
+// bytes are laid out in memory, never which numbers come out.
+const gridOracleHash = "f03c164a55616a918f4122f21af4c624f78315f2c68b61b605dec12d77c0e053"
+
+func oracleConfig(workers int) Config {
+	specs := []openml.Spec{}
+	for _, name := range []string{"credit-g", "phoneme"} {
+		s, _ := openml.ByName(name)
+		specs = append(specs, s)
+	}
+	return Config{
+		Datasets: specs,
+		Budgets:  []time.Duration{10 * time.Second, time.Minute},
+		Seeds:    2,
+		Scale:    openml.SmallScale(),
+		Workers:  workers,
+	}
+}
+
+func oracleSystems() []automl.System {
+	return []automl.System{
+		automl.NewCAML(),
+		automl.NewTabPFN(),
+		automl.NewFLAML(),
+		automl.NewAutoSklearn1(),
+		automl.NewAutoSklearn2(),
+		automl.NewAutoGluon(),
+		automl.NewTPOT(),
+	}
+}
+
+func gridDigest(t *testing.T, workers int) string {
+	t.Helper()
+	records := RunGrid(oracleSystems(), oracleConfig(workers))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatalf("exporting oracle grid: %v", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGridOracleByteIdentical pins the full grid export to the
+// pre-refactor hash at one and four workers.
+func TestGridOracleByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid oracle is slow; run without -short")
+	}
+	for _, workers := range []int{1, 4} {
+		if got := gridDigest(t, workers); got != gridOracleHash {
+			t.Errorf("grid export hash at workers=%d = %s, want %s", workers, got, gridOracleHash)
+		}
+	}
+}

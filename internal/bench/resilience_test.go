@@ -166,14 +166,14 @@ func TestPredictFaultKeepsExecMeasurements(t *testing.T) {
 	}
 	ds := openml.Generate(spec, cfg.Scale, cfg.Seed)
 	rng := rand.New(rand.NewPCG(1, 2))
-	train, test := ds.TrainTestSplit(rng)
+	train, test := ds.All().TrainTestSplit(rng)
 
 	sys := automl.NewTabPFN()
 	budget := 10 * time.Second
 	for seed := uint64(0); seed < 64; seed++ {
 		cfg.Faults.Seed = seed
 		inj := faults.New(cfg.Faults)
-		if !inj.CellPlan(sys.Name(), train.Name, budget, 1, 0).PredictError {
+		if !inj.CellPlan(sys.Name(), train.Name(), budget, 1, 0).PredictError {
 			continue
 		}
 		rec := runCell(sys, train, test, budget, cfg, 1, inj)

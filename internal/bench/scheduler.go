@@ -23,8 +23,8 @@ type gridCell struct {
 	spec     openml.Spec
 	budget   time.Duration
 	cellSeed uint64
-	train    *tabular.Dataset
-	test     *tabular.Dataset
+	train    tabular.View
+	test     tabular.View
 	// dsErr records a dataset that never materialized; every dependent
 	// cell yields a failure record instead of silently shrinking the
 	// grid.
@@ -47,10 +47,10 @@ func enumerateGrid(systems []automl.System, cfg Config, inj *faults.Injector, jo
 	for di, spec := range cfg.Datasets {
 		ds, dsErr := generateDataset(spec, cfg, inj)
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			var train, test *tabular.Dataset
+			var train, test tabular.View
 			if dsErr == nil {
 				splitRng := rand.New(rand.NewPCG(cfg.Seed+uint64(seed)*101, uint64(di)))
-				train, test = ds.TrainTestSplit(splitRng)
+				train, test = ds.All().TrainTestSplit(splitRng)
 			}
 			for _, sys := range systems {
 				for _, budget := range cfg.Budgets {
@@ -106,7 +106,7 @@ type fitOutcome struct {
 // terminates in bounded virtual time or parks on the abandon channel,
 // so the wait is bounded in practice. With the watchdog disabled this
 // is exactly safeFit.
-func fitWithWatchdog(sys automl.System, train *tabular.Dataset, opts automl.Options, wd WatchdogPolicy) (res *automl.Result, stalled bool, err error) {
+func fitWithWatchdog(sys automl.System, train tabular.View, opts automl.Options, wd WatchdogPolicy) (res *automl.Result, stalled bool, err error) {
 	if !wd.Enabled() {
 		res, err = safeFit(sys, train, opts)
 		return res, false, err

@@ -22,7 +22,7 @@ import (
 // Predictor is anything that yields class probabilities at a cost.
 // *pipeline.Pipeline satisfies it.
 type Predictor interface {
-	PredictProba(x [][]float64) ([][]float64, ml.Cost)
+	PredictProba(x tabular.View) ([][]float64, ml.Cost)
 }
 
 // Weighted combines member predictors with non-negative weights.
@@ -37,7 +37,7 @@ type Weighted struct {
 // PredictProba implements Predictor. Members with zero weight are skipped
 // entirely — they cost nothing at inference, matching how Caruana
 // selection concentrates weight on few models.
-func (w *Weighted) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
+func (w *Weighted) PredictProba(x tabular.View) ([][]float64, ml.Cost) {
 	var cost ml.Cost
 	var out [][]float64
 	var totalWeight float64
@@ -69,7 +69,7 @@ func (w *Weighted) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
 			out[i][j] /= totalWeight
 		}
 	}
-	cost.Generic += float64(len(x)) * 4
+	cost.Generic += float64(x.Rows()) * 4
 	return out, cost
 }
 
@@ -212,7 +212,7 @@ type Bagged struct {
 // align, which stacking requires). It returns the per-fold training costs
 // separately so the caller can schedule them in parallel — bagging is the
 // embarrassingly parallel workload of paper §3.3.
-func FitBagged(proto func() *pipeline.Pipeline, ds *tabular.Dataset, k int, foldSeed uint64, rng *rand.Rand) (*Bagged, []ml.Cost, error) {
+func FitBagged(proto func() *pipeline.Pipeline, ds tabular.View, k int, foldSeed uint64, rng *rand.Rand) (*Bagged, []ml.Cost, error) {
 	if k < 2 {
 		k = 2
 	}
@@ -234,13 +234,13 @@ func FitBagged(proto func() *pipeline.Pipeline, ds *tabular.Dataset, k int, fold
 		if err != nil {
 			return nil, costs, fmt.Errorf("ensemble: bagged fold %d: %w", f, err)
 		}
-		proba, predCost := p.PredictProba(val.X)
+		proba, predCost := p.PredictProba(val)
 		cost.Add(predCost)
 		costs = append(costs, cost)
 		bag.Folds = append(bag.Folds, p)
 		bag.OOFProba = append(bag.OOFProba, proba...)
-		bag.OOFRows = append(bag.OOFRows, val.X...)
-		bag.OOFLabels = append(bag.OOFLabels, val.Y...)
+		bag.OOFRows = append(bag.OOFRows, val.MaterializeRows()...)
+		bag.OOFLabels = append(bag.OOFLabels, val.LabelsInto(nil)...)
 		bag.OOFIndex = append(bag.OOFIndex, folds[f]...)
 	}
 	return bag, costs, nil
@@ -249,7 +249,7 @@ func FitBagged(proto func() *pipeline.Pipeline, ds *tabular.Dataset, k int, fold
 // Refit collapses the bag into a single model trained on the full training
 // data (AutoGluon's "refit" / inference-optimized setting). It returns the
 // refit training cost.
-func (b *Bagged) Refit(proto func() *pipeline.Pipeline, ds *tabular.Dataset, rng *rand.Rand) (ml.Cost, error) {
+func (b *Bagged) Refit(proto func() *pipeline.Pipeline, ds tabular.View, rng *rand.Rand) (ml.Cost, error) {
 	p := proto()
 	cost, err := p.Fit(ds, rng)
 	if err != nil {
@@ -264,7 +264,7 @@ func (b *Bagged) Refitted() bool { return b.refit != nil }
 
 // PredictProba implements Predictor: averaged fold models, or the single
 // refit model when present.
-func (b *Bagged) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
+func (b *Bagged) PredictProba(x tabular.View) ([][]float64, ml.Cost) {
 	if b.refit != nil {
 		return b.refit.PredictProba(x)
 	}

@@ -29,8 +29,8 @@ type constPredictor struct {
 	cost  float64
 }
 
-func (c *constPredictor) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
+func (c *constPredictor) PredictProba(x tabular.View) ([][]float64, ml.Cost) {
+	out := make([][]float64, x.Rows())
 	for i := range out {
 		out[i] = c.proba[i%len(c.proba)]
 	}
@@ -41,7 +41,7 @@ func TestWeightedSkipsZeroWeightMembers(t *testing.T) {
 	expensive := &constPredictor{proba: [][]float64{{1, 0}}, cost: 1e9}
 	cheap := &constPredictor{proba: [][]float64{{0, 1}}, cost: 1}
 	w := &Weighted{Members: []Predictor{expensive, cheap}, Weights: []float64{0, 1}}
-	proba, cost := w.PredictProba([][]float64{{0}})
+	proba, cost := w.PredictProba(tabular.FromRows([][]float64{{0}}))
 	if cost.Generic >= 1e9 {
 		t.Error("zero-weight member was evaluated at inference — it must cost nothing")
 	}
@@ -57,13 +57,13 @@ func TestWeightedAveraging(t *testing.T) {
 	a := &constPredictor{proba: [][]float64{{1, 0}}}
 	b := &constPredictor{proba: [][]float64{{0, 1}}}
 	w := &Weighted{Members: []Predictor{a, b}, Weights: []float64{3, 1}}
-	proba, _ := w.PredictProba([][]float64{{0}})
+	proba, _ := w.PredictProba(tabular.FromRows([][]float64{{0}}))
 	if math.Abs(proba[0][0]-0.75) > 1e-9 || math.Abs(proba[0][1]-0.25) > 1e-9 {
 		t.Errorf("weighted average %v, want [0.75 0.25]", proba[0])
 	}
 	// All-zero weights yield nil output.
 	empty := &Weighted{Members: []Predictor{a}, Weights: []float64{0}}
-	if out, _ := empty.PredictProba([][]float64{{0}}); out != nil {
+	if out, _ := empty.PredictProba(tabular.FromRows([][]float64{{0}})); out != nil {
 		t.Error("zero-weight ensemble produced output")
 	}
 }
@@ -187,7 +187,7 @@ func newPipelineProto() func() *pipeline.Pipeline {
 
 func TestFitBaggedOOFCoverage(t *testing.T) {
 	ds := blob(90, testRNG(2))
-	bag, costs, err := FitBagged(newPipelineProto(), ds, 3, 7, testRNG(3))
+	bag, costs, err := FitBagged(newPipelineProto(), ds.View(), 3, 7, testRNG(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +217,11 @@ func TestFitBaggedOOFCoverage(t *testing.T) {
 
 func TestFitBaggedSharedFoldSeedAligns(t *testing.T) {
 	ds := blob(60, testRNG(4))
-	a, _, err := FitBagged(newPipelineProto(), ds, 3, 42, testRNG(5))
+	a, _, err := FitBagged(newPipelineProto(), ds.View(), 3, 42, testRNG(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := FitBagged(newPipelineProto(), ds, 3, 42, testRNG(6))
+	b, _, err := FitBagged(newPipelineProto(), ds.View(), 3, 42, testRNG(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,11 +234,11 @@ func TestFitBaggedSharedFoldSeedAligns(t *testing.T) {
 
 func TestBaggedPredictAndRefit(t *testing.T) {
 	ds := blob(90, testRNG(7))
-	bag, _, err := FitBagged(newPipelineProto(), ds, 3, 1, testRNG(8))
+	bag, _, err := FitBagged(newPipelineProto(), ds.View(), 3, 1, testRNG(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	probaBag, costBag := bag.PredictProba(ds.X)
+	probaBag, costBag := bag.PredictProba(ds.View())
 	labels := metrics.ArgmaxRows(probaBag)
 	if acc := metrics.Accuracy(ds.Y, labels); acc < 0.9 {
 		t.Errorf("bagged accuracy %.3f", acc)
@@ -246,7 +246,7 @@ func TestBaggedPredictAndRefit(t *testing.T) {
 	if bag.Refitted() {
 		t.Error("bag marked refit before Refit")
 	}
-	refitCost, err := bag.Refit(newPipelineProto(), ds, testRNG(9))
+	refitCost, err := bag.Refit(newPipelineProto(), ds.View(), testRNG(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestBaggedPredictAndRefit(t *testing.T) {
 	// The refit single model must be cheaper at inference than the
 	// 3-fold average — that is AutoGluon's inference-optimized preset
 	// (paper §3.4).
-	_, costRefit := bag.PredictProba(ds.X)
+	_, costRefit := bag.PredictProba(ds.View())
 	if costRefit.Total() >= costBag.Total() {
 		t.Errorf("refit inference cost %.0f not below bagged %.0f", costRefit.Total(), costBag.Total())
 	}

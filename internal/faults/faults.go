@@ -292,7 +292,7 @@ func (f *faultySystem) MinBudget() time.Duration { return f.inner.MinBudget() }
 // Fit implements automl.System, firing the plan's fit-stage faults.
 // Crash faults burn WasteFrac of the budget first: a trainer that dies
 // mid-run consumed real energy, which the meter must keep.
-func (f *faultySystem) Fit(train *tabular.Dataset, opts automl.Options) (*automl.Result, error) {
+func (f *faultySystem) Fit(train tabular.View, opts automl.Options) (*automl.Result, error) {
 	if f.plan.DropoutFrac > 0 && opts.Meter != nil {
 		opts.Meter.DropoutAfter(time.Duration(f.plan.DropoutFrac * float64(opts.Budget)))
 	}
@@ -339,6 +339,6 @@ func (f *faultySystem) Fit(train *tabular.Dataset, opts automl.Options) (*automl
 type corruptPredictor struct{}
 
 // PredictProba implements ensemble.Predictor by panicking.
-func (corruptPredictor) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
+func (corruptPredictor) PredictProba(x tabular.View) ([][]float64, ml.Cost) {
 	panic(&Error{Kind: PredictError, Site: "predict", Err: errors.New("injected corrupt model")})
 }

@@ -118,14 +118,14 @@ func TestKindOf(t *testing.T) {
 // testMeter builds a small execution meter for wrapper tests.
 func testMeter() *energy.Meter { return energy.NewMeter(hw.XeonGold6132(), 1) }
 
-// testTrain generates a small deterministic training set.
-func testTrain(t *testing.T) *tabular.Dataset {
+// testTrain generates a small deterministic training view.
+func testTrain(t *testing.T) tabular.View {
 	t.Helper()
 	spec, ok := openml.ByName("credit-g")
 	if !ok {
 		t.Fatal("credit-g spec missing")
 	}
-	return openml.Generate(spec, openml.SmallScale(), 1)
+	return openml.Generate(spec, openml.SmallScale(), 1).All()
 }
 
 func TestWrapFitError(t *testing.T) {
@@ -174,7 +174,7 @@ func TestWrapPredictErrorCorruptsPredictor(t *testing.T) {
 			t.Errorf("panic value %v, want typed predict-error", r)
 		}
 	}()
-	res.Predictor.PredictProba(train.X)
+	res.Predictor.PredictProba(train)
 	t.Error("corrupt predictor did not fire")
 }
 

@@ -18,6 +18,9 @@
 //     (writes to an io.Writer, or builds a slice that is never sorted).
 //   - wraperr: no fmt.Errorf that passes an error through %v/%s — use
 //     %w so the errors.Is-based failure taxonomy keeps working.
+//   - rowmajor: in internal/ml no unannotated [][]float64 allocation and
+//     no View.MaterializeRows — the kernels are columnar; a row-major
+//     feature matrix is the per-fit transpose regression coming back.
 //
 // Legitimate exceptions are annotated in the source, never silently
 // exempted:
@@ -65,7 +68,7 @@ type Analyzer struct {
 }
 
 // Analyzers is the full suite, in the order findings are attributed.
-var Analyzers = []*Analyzer{Wallclock, GlobalRand, MapOrder, WrapErr}
+var Analyzers = []*Analyzer{Wallclock, GlobalRand, MapOrder, WrapErr, RowMajor}
 
 // DirectiveCheck is the pseudo-check name under which malformed
 // //greenlint: directives are reported.

@@ -150,6 +150,26 @@ func TestWrapErrFixture(t *testing.T) {
 	}
 }
 
+func TestRowMajorFixture(t *testing.T) {
+	findings := checkFixture(t, filepath.Join("rowmajor", "ml"))
+	if len(findings) == 0 {
+		t.Fatal("rowmajor fixture produced no findings; the CI gate would pass vacuously")
+	}
+}
+
+// TestRowMajorScopedToML pins the path scoping: the identical code
+// outside a /ml package must produce no findings, so the check cannot
+// leak into packages that legitimately traffic in row-major data
+// (stacked meta-features, export tables).
+func TestRowMajorScopedToML(t *testing.T) {
+	findings, _, _ := lintFixture(t, filepath.Join("rowmajor", "elsewhere"))
+	for _, f := range findings {
+		if f.Check == "rowmajor" {
+			t.Errorf("rowmajor fired outside internal/ml: %s", f)
+		}
+	}
+}
+
 // TestDirectivesFixture covers the suppression machinery: allow
 // directives on the same line and the line above suppress, directives
 // for another check or further away do not, and malformed directives

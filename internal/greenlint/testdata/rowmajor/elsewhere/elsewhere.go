@@ -1,0 +1,11 @@
+// Package elsewhere proves the rowmajor check is scoped to /ml
+// packages: the same allocations are fine here.
+package elsewhere
+
+func freshMatrix(n int) [][]float64 {
+	return make([][]float64, n)
+}
+
+func literalMatrix() [][]float64 {
+	return [][]float64{{1, 2}}
+}

@@ -204,13 +204,13 @@ func Optimize(specs []openml.Spec, opts Options) (*Result, error) {
 
 	// Materialize representative datasets and their train/test splits.
 	type repData struct {
-		train, test *tabular.Dataset
+		train, test tabular.View
 	}
 	data := make([]repData, len(reps))
 	for i, spec := range reps {
 		repNames[i] = spec.Name
 		ds := openml.Generate(spec, opts.Scale, opts.Seed)
-		train, test := ds.TrainTestSplit(rng)
+		train, test := ds.All().TrainTestSplit(rng)
 		data[i] = repData{train: train, test: test}
 	}
 
@@ -231,11 +231,11 @@ func Optimize(specs []openml.Spec, opts Options) (*Result, error) {
 			if err != nil {
 				return 0, err
 			}
-			pred, err := res.Predict(d.test.X, devMeter)
+			pred, err := res.Predict(d.test, devMeter)
 			if err != nil {
 				return 0, err
 			}
-			sum += metrics.BalancedAccuracy(d.test.Y, pred, d.test.Classes)
+			sum += metrics.BalancedAccuracy(d.test.LabelsInto(nil), pred, d.test.Classes())
 		}
 		return sum / float64(opts.RunsPerDataset), nil
 	}

@@ -42,11 +42,12 @@ type AdaBoost struct {
 func NewAdaBoost(p AdaBoostParams) *AdaBoost { return &AdaBoost{Params: p} }
 
 // Fit implements Classifier.
-func (a *AdaBoost) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+func (a *AdaBoost) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	p := a.Params.normalized()
 	a.Params = p
-	n, k := ds.Rows(), ds.Classes
+	n, k := ds.Rows(), ds.Classes()
 	a.classes = k
+	labels := ds.LabelsInto(nil)
 	a.stumps = a.stumps[:0]
 	a.alphas = a.alphas[:0]
 
@@ -78,6 +79,8 @@ func (a *AdaBoost) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 			idx[i] = lo
 		}
 		cost.Generic += float64(n) * math.Log2(float64(n)+2)
+		// The sample view aliases/composes idx; the stump gathers it into
+		// its own column cache, so idx can be rewritten next round.
 		sample := ds.Select(idx)
 
 		stump := NewTreeClassifier(p.Tree)
@@ -88,11 +91,11 @@ func (a *AdaBoost) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 		}
 
 		// Weighted training error on the original data.
-		pred, c2 := Predict(stump, ds.X)
+		pred, c2 := Predict(stump, ds)
 		cost.Add(c2)
 		var errW float64
 		for i, yhat := range pred {
-			if yhat != ds.Y[i] {
+			if yhat != labels[i] {
 				errW += weights[i]
 			}
 		}
@@ -111,7 +114,7 @@ func (a *AdaBoost) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 		// Reweight.
 		var newTotal float64
 		for i, yhat := range pred {
-			if yhat != ds.Y[i] {
+			if yhat != labels[i] {
 				weights[i] *= math.Exp(alpha)
 			}
 			newTotal += weights[i]
@@ -129,12 +132,13 @@ func (a *AdaBoost) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 
 // PredictProba implements Classifier: alpha-weighted votes normalized to
 // probabilities.
-func (a *AdaBoost) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (a *AdaBoost) PredictProba(x tabular.View) ([][]float64, Cost) {
+	m := x.Rows()
 	if len(a.stumps) == 0 {
-		return uniformProba(len(x), max(a.classes, 2)), Cost{}
+		return uniformProba(m, max(a.classes, 2)), Cost{}
 	}
 	var cost Cost
-	out := make([][]float64, len(x))
+	out := make([][]float64, m) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
 	for i := range out {
 		out[i] = make([]float64, a.classes)
 	}
@@ -148,7 +152,7 @@ func (a *AdaBoost) PredictProba(x [][]float64) ([][]float64, Cost) {
 	for i := range out {
 		normalizeInPlace(out[i])
 	}
-	cost.Generic += float64(len(x) * a.classes)
+	cost.Generic += float64(m * a.classes)
 	return out, cost
 }
 

@@ -54,11 +54,12 @@ func NewBoostingClassifier(p BoostingParams) *BoostingClassifier {
 }
 
 // Fit implements Classifier.
-func (b *BoostingClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+func (b *BoostingClassifier) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	p := b.Params.normalized()
 	b.Params = p
-	b.classes = ds.Classes
+	b.classes = ds.Classes()
 	n := ds.Rows()
+	labels := ds.LabelsInto(nil)
 
 	// Log-prior initialization.
 	b.prior = make([]float64, b.classes)
@@ -66,7 +67,7 @@ func (b *BoostingClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, err
 	for k, c := range counts {
 		b.prior[k] = float64(c+1) / float64(n+b.classes)
 	}
-	logits := make([][]float64, n)
+	logits := make([][]float64, n) //greenlint:allow rowmajor per-row class logits, class-wide not feature-wide
 	for i := range logits {
 		logits[i] = make([]float64, b.classes)
 	}
@@ -78,7 +79,7 @@ func (b *BoostingClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, err
 	for r := 0; r < p.Rounds; r++ {
 		roundTrees := make([]*TreeRegressor, b.classes)
 		// Residuals for every class under current logits.
-		residuals := make([][]float64, b.classes)
+		residuals := make([][]float64, b.classes) //greenlint:allow rowmajor per-class residual columns - columnar
 		for k := range residuals {
 			residuals[k] = make([]float64, n)
 		}
@@ -87,7 +88,7 @@ func (b *BoostingClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, err
 			softmaxInPlace(proba)
 			for k := 0; k < b.classes; k++ {
 				indicator := 0.0
-				if ds.Y[i] == k {
+				if labels[i] == k {
 					indicator = 1.0
 				}
 				residuals[k][i] = indicator - proba[k]
@@ -95,7 +96,7 @@ func (b *BoostingClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, err
 		}
 		cost.Generic += float64(n * b.classes * 3)
 
-		rows := ds.X
+		fitView := ds
 		useIdx := []int(nil)
 		if p.Subsample < 1 {
 			m := int(p.Subsample * float64(n))
@@ -103,15 +104,12 @@ func (b *BoostingClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, err
 				m = 2
 			}
 			useIdx = rng.Perm(n)[:m]
-			rows = make([][]float64, m)
-			for j, i := range useIdx {
-				rows[j] = ds.X[i]
-			}
+			fitView = ds.Select(useIdx)
 		}
 
 		for k := 0; k < b.classes; k++ {
 			tree := NewTreeRegressor(p.Tree)
-			t := targets[:len(rows)]
+			t := targets[:fitView.Rows()]
 			if useIdx == nil {
 				copy(t, residuals[k])
 			} else {
@@ -119,12 +117,12 @@ func (b *BoostingClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, err
 					t[j] = residuals[k][i]
 				}
 			}
-			c, err := tree.FitReg(rows, t, rng)
+			c, err := tree.FitReg(fitView, t, rng)
 			if err != nil {
 				return cost, fmt.Errorf("ml: boosting round %d class %d: %w", r, k, err)
 			}
 			cost.Add(c)
-			pred, c2 := tree.PredictReg(ds.X)
+			pred, c2 := tree.PredictReg(ds)
 			cost.Add(c2)
 			for i, v := range pred {
 				logits[i][k] += p.LearningRate * v
@@ -137,13 +135,14 @@ func (b *BoostingClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, err
 }
 
 // PredictProba implements Classifier.
-func (b *BoostingClassifier) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (b *BoostingClassifier) PredictProba(x tabular.View) ([][]float64, Cost) {
+	m := x.Rows()
 	if len(b.rounds) == 0 {
-		return uniformProba(len(x), max(b.classes, 2)), Cost{}
+		return uniformProba(m, max(b.classes, 2)), Cost{}
 	}
 	var cost Cost
-	out := make([][]float64, len(x))
-	logits := make([][]float64, len(x))
+	out := make([][]float64, m)    //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
+	logits := make([][]float64, m) //greenlint:allow rowmajor per-row class logits, class-wide not feature-wide
 	for i := range logits {
 		logits[i] = make([]float64, b.classes)
 	}
@@ -156,11 +155,11 @@ func (b *BoostingClassifier) PredictProba(x [][]float64) ([][]float64, Cost) {
 			}
 		}
 	}
-	for i := range x {
+	for i := 0; i < m; i++ {
 		softmaxInPlace(logits[i])
 		out[i] = logits[i]
 	}
-	cost.Generic += float64(len(x) * b.classes * 2)
+	cost.Generic += float64(m * b.classes * 2)
 	return out, cost
 }
 

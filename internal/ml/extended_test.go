@@ -5,13 +5,14 @@ import (
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/tabular"
 )
 
 func TestAdaBoostLearns(t *testing.T) {
 	train := xorBlob(300, testRNG(50))
 	test := xorBlob(120, testRNG(51))
 	ab := NewAdaBoost(AdaBoostParams{Rounds: 40, Tree: TreeParams{MaxDepth: 2}})
-	cost, err := ab.Fit(train, testRNG(52))
+	cost, err := ab.Fit(train.View(), testRNG(52))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,15 +22,15 @@ func TestAdaBoostLearns(t *testing.T) {
 	if ab.Rounds() == 0 {
 		t.Fatal("no weak learners fitted")
 	}
-	pred, _ := Predict(ab, test.X)
+	pred, _ := Predict(ab, test.View())
 	if acc := metrics.Accuracy(test.Y, pred); acc < 0.85 {
 		t.Errorf("AdaBoost accuracy %.3f on XOR", acc)
 	}
 	// A single depth-2 stump ensemble must beat its own single weak
 	// learner on a problem stumps cannot solve alone.
 	stump := NewTreeClassifier(TreeParams{MaxDepth: 1})
-	stump.Fit(train, testRNG(53))
-	stumpPred, _ := Predict(stump, test.X)
+	stump.Fit(train.View(), testRNG(53))
+	stumpPred, _ := Predict(stump, test.View())
 	if metrics.Accuracy(test.Y, pred) <= metrics.Accuracy(test.Y, stumpPred) {
 		t.Error("boosting did not improve on a single stump")
 	}
@@ -38,10 +39,10 @@ func TestAdaBoostLearns(t *testing.T) {
 func TestAdaBoostProbabilities(t *testing.T) {
 	train := separableBlob(150, 3, testRNG(54))
 	ab := NewAdaBoost(AdaBoostParams{Rounds: 10})
-	if _, err := ab.Fit(train, testRNG(55)); err != nil {
+	if _, err := ab.Fit(train.View(), testRNG(55)); err != nil {
 		t.Fatal(err)
 	}
-	proba, _ := ab.PredictProba([][]float64{{0, 0, 0}, {4, 4, 4}})
+	proba, _ := ab.PredictProba(tabular.FromRows([][]float64{{0, 0, 0}, {4, 4, 4}}))
 	for _, row := range proba {
 		var sum float64
 		for _, p := range row {
@@ -74,22 +75,22 @@ func TestQDALearnsEllipticalClasses(t *testing.T) {
 		ds.Y = append(ds.Y, c)
 	}
 	q := NewQDA(0)
-	cost, err := q.Fit(ds, rng)
+	cost, err := q.Fit(ds.View(), rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cost.Matrix <= 0 {
 		t.Error("QDA fit reported no matrix cost")
 	}
-	pred, _ := Predict(q, ds.X)
+	pred, _ := Predict(q, ds.View())
 	if acc := metrics.Accuracy(ds.Y, pred); acc < 0.85 {
 		t.Errorf("QDA accuracy %.3f on covariance-separated classes", acc)
 	}
 	// Logistic regression must do much worse here (sanity that the task
 	// actually requires quadratic boundaries).
 	lr := NewLogisticRegression(LinearParams{Epochs: 30})
-	lr.Fit(ds, testRNG(57))
-	lrPred, _ := Predict(lr, ds.X)
+	lr.Fit(ds.View(), testRNG(57))
+	lrPred, _ := Predict(lr, ds.View())
 	if lrAcc := metrics.Accuracy(ds.Y, lrPred); lrAcc > 0.7 {
 		t.Errorf("linear model scored %.3f — task is not covariance-separated", lrAcc)
 	}
@@ -98,7 +99,7 @@ func TestQDALearnsEllipticalClasses(t *testing.T) {
 func TestQDARejectsWideData(t *testing.T) {
 	rng := testRNG(58)
 	ds := separableBlob(40, 80, rng)
-	if _, err := NewQDA(0).Fit(ds, rng); err == nil {
+	if _, err := NewQDA(0).Fit(ds.View(), rng); err == nil {
 		t.Error("QDA accepted 80 features (cubic fit would blow up)")
 	}
 }
@@ -130,14 +131,14 @@ func TestHistBoostingLearns(t *testing.T) {
 	train := xorBlob(400, testRNG(59))
 	test := xorBlob(150, testRNG(60))
 	hb := NewHistBoosting(HistBoostingParams{Rounds: 30, MaxDepth: 3})
-	cost, err := hb.Fit(train, testRNG(61))
+	cost, err := hb.Fit(train.View(), testRNG(61))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cost.Tree <= 0 {
 		t.Error("no tree cost recorded")
 	}
-	pred, _ := Predict(hb, test.X)
+	pred, _ := Predict(hb, test.View())
 	if acc := metrics.Accuracy(test.Y, pred); acc < 0.85 {
 		t.Errorf("hist boosting accuracy %.3f on XOR", acc)
 	}
@@ -149,12 +150,12 @@ func TestHistBoostingLearns(t *testing.T) {
 func TestHistBoostingCheaperThanExact(t *testing.T) {
 	train := separableBlob(600, 8, testRNG(62))
 	hist := NewHistBoosting(HistBoostingParams{Rounds: 20, MaxDepth: 3})
-	histCost, err := hist.Fit(train, testRNG(63))
+	histCost, err := hist.Fit(train.View(), testRNG(63))
 	if err != nil {
 		t.Fatal(err)
 	}
 	exact := NewBoostingClassifier(BoostingParams{Rounds: 20, Tree: TreeParams{MaxDepth: 3}})
-	exactCost, err := exact.Fit(train, testRNG(63))
+	exactCost, err := exact.Fit(train.View(), testRNG(63))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,10 +168,10 @@ func TestHistBoostingDeterminism(t *testing.T) {
 	train := separableBlob(200, 4, testRNG(64))
 	a := NewHistBoosting(HistBoostingParams{Rounds: 10})
 	b := NewHistBoosting(HistBoostingParams{Rounds: 10})
-	a.Fit(train, testRNG(65))
-	b.Fit(train, testRNG(65))
-	pa, _ := a.PredictProba(train.X[:10])
-	pb, _ := b.PredictProba(train.X[:10])
+	a.Fit(train.View(), testRNG(65))
+	b.Fit(train.View(), testRNG(65))
+	pa, _ := a.PredictProba(train.View().Head(10))
+	pb, _ := b.PredictProba(train.View().Head(10))
 	for i := range pa {
 		for j := range pa[i] {
 			if pa[i][j] != pb[i][j] {

@@ -46,35 +46,27 @@ func NewForestClassifier(p ForestParams) *ForestClassifier {
 }
 
 // Fit implements Classifier.
-func (f *ForestClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+func (f *ForestClassifier) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	p := f.Params.normalized(ds.Features())
-	f.classes = ds.Classes
+	f.classes = ds.Classes()
 	f.trees = make([]*TreeClassifier, 0, p.Trees)
 	var cost Cost
-	// One bootstrap view is shared across trees (same RNG draws as
-	// ds.Bootstrap): the tree kernel copies rows into its column cache, so
-	// the view can be overwritten for the next tree.
-	var boot *tabular.Dataset
+	// One bootstrap index buffer is shared across trees (same RNG draws
+	// as View.Bootstrap): the tree kernel gathers the view into its
+	// column cache, so the buffer can be overwritten for the next tree.
+	var bootIdx []int
 	if p.Bootstrap {
-		boot = &tabular.Dataset{
-			Name:    ds.Name,
-			X:       make([][]float64, ds.Rows()),
-			Y:       make([]int, ds.Rows()),
-			Kinds:   ds.Kinds,
-			Classes: ds.Classes,
-		}
+		bootIdx = make([]int, ds.Rows())
 	}
 	for i := 0; i < p.Trees; i++ {
 		tree := NewTreeClassifier(p.Tree)
 		data := ds
 		if p.Bootstrap {
-			for j := range boot.X {
-				r := rng.IntN(ds.Rows())
-				boot.X[j] = ds.X[r]
-				boot.Y[j] = ds.Y[r]
+			for j := range bootIdx {
+				bootIdx[j] = ds.RowIndex(rng.IntN(ds.Rows()))
 			}
 			cost.Generic += float64(ds.Rows())
-			data = boot
+			data = tabular.NewView(ds.Frame(), bootIdx)
 		}
 		c, err := tree.Fit(data, rng)
 		if err != nil {
@@ -87,12 +79,12 @@ func (f *ForestClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error
 }
 
 // PredictProba implements Classifier by averaging tree leaf distributions.
-func (f *ForestClassifier) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (f *ForestClassifier) PredictProba(x tabular.View) ([][]float64, Cost) {
 	if len(f.trees) == 0 {
-		return uniformProba(len(x), max(f.classes, 2)), Cost{}
+		return uniformProba(x.Rows(), max(f.classes, 2)), Cost{}
 	}
 	var cost Cost
-	out := make([][]float64, len(x))
+	out := make([][]float64, x.Rows()) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
 	for i := range out {
 		out[i] = make([]float64, f.classes)
 	}
@@ -111,7 +103,7 @@ func (f *ForestClassifier) PredictProba(x [][]float64) ([][]float64, Cost) {
 			out[i][j] *= inv
 		}
 	}
-	cost.Generic += float64(len(x) * f.classes * len(f.trees))
+	cost.Generic += float64(x.Rows() * f.classes * len(f.trees))
 	return out, cost
 }
 
@@ -152,33 +144,34 @@ func NewForestRegressor(p ForestParams) *ForestRegressor {
 }
 
 // FitReg implements Regressor.
-func (f *ForestRegressor) FitReg(x [][]float64, y []float64, rng *rand.Rand) (Cost, error) {
-	if len(x) == 0 {
+func (f *ForestRegressor) FitReg(x tabular.View, y []float64, rng *rand.Rand) (Cost, error) {
+	n := x.Rows()
+	if n == 0 {
 		return Cost{}, fmt.Errorf("ml: forest regressor fit on empty data")
 	}
-	p := f.Params.normalized(len(x[0]))
+	p := f.Params.normalized(x.Features())
 	f.trees = make([]*TreeRegressor, 0, p.Trees)
 	var cost Cost
 	// Bootstrap resample buffers are shared across trees: the tree kernel
-	// copies what it needs into its column cache, so each tree can
+	// gathers what it needs into its column cache, so each tree can
 	// overwrite them for the next draw.
-	var bx [][]float64
+	var bootIdx []int
 	var by []float64
 	if p.Bootstrap {
-		bx = make([][]float64, len(x))
+		bootIdx = make([]int, n)
 		by = make([]float64, len(y))
 	}
 	for i := 0; i < p.Trees; i++ {
 		tree := NewTreeRegressor(p.Tree)
 		xs, ys := x, y
 		if p.Bootstrap {
-			for j := range bx {
-				r := rng.IntN(len(x))
-				bx[j] = x[r]
+			for j := range bootIdx {
+				r := rng.IntN(n)
+				bootIdx[j] = x.RowIndex(r)
 				by[j] = y[r]
 			}
-			cost.Generic += float64(len(x))
-			xs, ys = bx, by
+			cost.Generic += float64(n)
+			xs, ys = tabular.NewView(x.Frame(), bootIdx), by
 		}
 		c, err := tree.FitReg(xs, ys, rng)
 		if err != nil {
@@ -191,21 +184,21 @@ func (f *ForestRegressor) FitReg(x [][]float64, y []float64, rng *rand.Rand) (Co
 }
 
 // PredictReg implements Regressor by averaging tree predictions.
-func (f *ForestRegressor) PredictReg(x [][]float64) ([]float64, Cost) {
+func (f *ForestRegressor) PredictReg(x tabular.View) ([]float64, Cost) {
 	mean, _, cost := f.PredictWithStd(x)
 	return mean, cost
 }
 
 // PredictWithStd returns the per-row mean and standard deviation of the
 // tree predictions.
-func (f *ForestRegressor) PredictWithStd(x [][]float64) (mean, std []float64, cost Cost) {
-	mean = make([]float64, len(x))
-	std = make([]float64, len(x))
+func (f *ForestRegressor) PredictWithStd(x tabular.View) (mean, std []float64, cost Cost) {
+	mean = make([]float64, x.Rows())
+	std = make([]float64, x.Rows())
 	if len(f.trees) == 0 {
 		return mean, std, cost
 	}
-	sums := make([]float64, len(x))
-	sumSqs := make([]float64, len(x))
+	sums := make([]float64, x.Rows())
+	sumSqs := make([]float64, x.Rows())
 	for _, tree := range f.trees {
 		pred, c := tree.PredictReg(x)
 		cost.Add(c)
@@ -215,7 +208,7 @@ func (f *ForestRegressor) PredictWithStd(x [][]float64) (mean, std []float64, co
 		}
 	}
 	n := float64(len(f.trees))
-	for i := range x {
+	for i := range mean {
 		m := sums[i] / n
 		mean[i] = m
 		variance := sumSqs[i]/n - m*m
@@ -223,6 +216,6 @@ func (f *ForestRegressor) PredictWithStd(x [][]float64) (mean, std []float64, co
 			std[i] = math.Sqrt(variance)
 		}
 	}
-	cost.Generic += float64(len(x)) * n
+	cost.Generic += float64(x.Rows()) * n
 	return mean, std, cost
 }

@@ -65,28 +65,30 @@ type histTree struct {
 func NewHistBoosting(p HistBoostingParams) *HistBoosting { return &HistBoosting{Params: p} }
 
 // Fit implements Classifier.
-func (h *HistBoosting) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+func (h *HistBoosting) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	p := h.Params.normalized()
 	h.Params = p
-	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes()
 	if n == 0 || d == 0 {
 		return Cost{}, fmt.Errorf("ml: hist boosting on empty data")
 	}
 	h.classes = k
 
 	var cost Cost
-	// Quantize features once: thresholds at uniform quantiles.
-	h.thresholds = make([][]float64, d)
-	binned := make([][]uint8, n)
-	for i := range binned {
-		binned[i] = make([]uint8, d)
+	// Quantize features once: thresholds at uniform quantiles. The
+	// binned matrix is column-major (one []uint8 per feature) so the
+	// per-node histogram scans below walk memory sequentially.
+	h.thresholds = make([][]float64, d) //greenlint:allow rowmajor per-feature bin thresholds, bin-wide not row-wide
+	binned := make([][]uint8, d)
+	binBacking := make([]uint8, n*d)
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
 	}
-	col := make([]float64, n)
+	sorted := make([]float64, n)
 	for j := 0; j < d; j++ {
-		for i, row := range ds.X {
-			col[i] = row[j]
-		}
-		sorted := append([]float64(nil), col...)
+		col := ds.ColInto(j, colBuf)
+		copy(sorted, col)
 		sort.Float64s(sorted)
 		edges := make([]float64, 0, p.Bins-1)
 		for b := 1; b < p.Bins; b++ {
@@ -97,40 +99,45 @@ func (h *HistBoosting) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 			edges = append(edges, sorted[pos])
 		}
 		h.thresholds[j] = edges
-		for i := range col {
-			binned[i][j] = binIndex(edges, col[i])
+		bcol := binBacking[j*n : (j+1)*n : (j+1)*n]
+		for i, v := range col {
+			bcol[i] = binIndex(edges, v)
 		}
+		binned[j] = bcol
 	}
 	cost.Generic += float64(n*d) * (math.Log2(float64(n)+2) + 2)
 
-	logits := make([][]float64, n)
-	for i := range logits {
-		logits[i] = make([]float64, k)
-	}
+	logits := make([]float64, n*k)
 	proba := make([]float64, k)
 	residual := make([]float64, n)
+	labels := ds.LabelsInto(nil)
+
+	// idx is the shared node index buffer: each tree node owns a
+	// contiguous range, split in place by stable partitioning (spill is
+	// the partition scratch), so tree growth allocates only the nodes.
+	idx := make([]int, n)
+	spill := make([]int, n)
 
 	h.rounds = h.rounds[:0]
 	for r := 0; r < p.Rounds; r++ {
 		roundTrees := make([]*histTree, k)
 		for c := 0; c < k; c++ {
 			for i := 0; i < n; i++ {
-				copy(proba, logits[i])
+				copy(proba, logits[i*k:(i+1)*k])
 				softmaxInPlace(proba)
 				indicator := 0.0
-				if ds.Y[i] == c {
+				if labels[i] == c {
 					indicator = 1.0
 				}
 				residual[i] = indicator - proba[c]
 			}
-			idx := make([]int, n)
 			for i := range idx {
 				idx[i] = i
 			}
-			tree := h.buildTree(binned, residual, idx, 0, &cost)
+			tree := h.buildTree(binned, residual, idx, spill, 0, &cost)
 			roundTrees[c] = tree
-			for i := range binned {
-				logits[i][c] += p.LearningRate * h.predictTree(tree, binned[i])
+			for i := 0; i < n; i++ {
+				logits[i*k+c] += p.LearningRate * h.predictTreeBinned(tree, binned, i)
 			}
 		}
 		cost.Generic += float64(n * k * 4)
@@ -153,8 +160,11 @@ func binIndex(edges []float64, v float64) uint8 {
 }
 
 // buildTree grows a depth-limited regression tree by scanning bin
-// histograms for the best variance reduction.
-func (h *HistBoosting) buildTree(binned [][]uint8, target []float64, idx []int, depth int, cost *Cost) *histTree {
+// histograms for the best variance reduction. The node's samples occupy
+// the idx slice, which is stably partitioned in place (using spill as
+// the partition scratch) before recursing — preserving the historical
+// append-based child order without per-node index allocations.
+func (h *HistBoosting) buildTree(binned [][]uint8, target []float64, idx, spill []int, depth int, cost *Cost) *histTree {
 	m := len(idx)
 	var sum float64
 	for _, i := range idx {
@@ -165,7 +175,7 @@ func (h *HistBoosting) buildTree(binned [][]uint8, target []float64, idx []int, 
 		return node
 	}
 
-	d := len(binned[0])
+	d := len(binned)
 	bins := h.Params.Bins
 	bestGain := 1e-9
 	bestFeature, bestBin := -1, -1
@@ -175,8 +185,9 @@ func (h *HistBoosting) buildTree(binned [][]uint8, target []float64, idx []int, 
 		for b := range histSum {
 			histSum[b], histCnt[b] = 0, 0
 		}
+		bcol := binned[j]
 		for _, i := range idx {
-			b := binned[i][j]
+			b := bcol[i]
 			histSum[b] += target[i]
 			histCnt[b]++
 		}
@@ -201,20 +212,37 @@ func (h *HistBoosting) buildTree(binned [][]uint8, target []float64, idx []int, 
 	if bestFeature < 0 {
 		return node
 	}
-	var leftIdx, rightIdx []int
+	bcol := binned[bestFeature]
+	nl, nr := 0, 0
 	for _, i := range idx {
-		if int(binned[i][bestFeature]) <= bestBin {
-			leftIdx = append(leftIdx, i)
+		if int(bcol[i]) <= bestBin {
+			idx[nl] = i
+			nl++
 		} else {
-			rightIdx = append(rightIdx, i)
+			spill[nr] = i
+			nr++
 		}
 	}
+	copy(idx[nl:], spill[:nr])
 	cost.Tree += float64(m)
 	node.feature = bestFeature
 	node.bin = bestBin
-	node.left = h.buildTree(binned, target, leftIdx, depth+1, cost)
-	node.right = h.buildTree(binned, target, rightIdx, depth+1, cost)
+	node.left = h.buildTree(binned, target, idx[:nl], spill, depth+1, cost)
+	node.right = h.buildTree(binned, target, idx[nl:], spill, depth+1, cost)
 	return node
+}
+
+// predictTreeBinned walks training sample i through the tree, reading
+// its bins from the column-major binned matrix.
+func (h *HistBoosting) predictTreeBinned(t *histTree, binned [][]uint8, i int) float64 {
+	for t.feature >= 0 {
+		if int(binned[t.feature][i]) <= t.bin {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
 }
 
 func (h *HistBoosting) predictTree(t *histTree, row []uint8) float64 {
@@ -229,19 +257,21 @@ func (h *HistBoosting) predictTree(t *histTree, row []uint8) float64 {
 }
 
 // PredictProba implements Classifier.
-func (h *HistBoosting) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (h *HistBoosting) PredictProba(x tabular.View) ([][]float64, Cost) {
+	n := x.Rows()
 	if len(h.rounds) == 0 {
-		return uniformProba(len(x), max(h.classes, 2)), Cost{}
+		return uniformProba(n, max(h.classes, 2)), Cost{}
 	}
 	d := len(h.thresholds)
-	out := make([][]float64, len(x))
+	out := make([][]float64, n) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
 	row := make([]uint8, d)
+	width := x.Features()
 	var visits float64
-	for i, raw := range x {
+	for i := 0; i < n; i++ {
 		for j := 0; j < d; j++ {
 			v := 0.0
-			if j < len(raw) {
-				v = raw[j]
+			if j < width {
+				v = x.At(i, j)
 			}
 			row[j] = binIndex(h.thresholds[j], v)
 		}
@@ -255,7 +285,7 @@ func (h *HistBoosting) PredictProba(x [][]float64) ([][]float64, Cost) {
 		softmaxInPlace(logits)
 		out[i] = logits
 	}
-	return out, Cost{Tree: 2 * visits, Generic: float64(len(x)*d) * 4}
+	return out, Cost{Tree: 2 * visits, Generic: float64(n*d) * 4}
 }
 
 // Clone implements Classifier.

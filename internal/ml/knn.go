@@ -27,8 +27,11 @@ func (p KNNParams) normalized() KNNParams {
 // it memorizes the training set — while prediction scans all stored rows,
 // the cost profile that makes lazy learners expensive at inference.
 type KNN struct {
-	Params  KNNParams
-	x       [][]float64
+	Params KNNParams
+	// cols memorizes the training set in column order: aliases of the
+	// training frame's columns for identity views (zero-copy), gathered
+	// copies for subset views.
+	cols    [][]float64
 	y       []int
 	classes int
 }
@@ -39,39 +42,50 @@ func NewKNN(p KNNParams) *KNN {
 }
 
 // Fit implements Classifier.
-func (k *KNN) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
+func (k *KNN) Fit(ds tabular.View, _ *rand.Rand) (Cost, error) {
 	k.Params = k.Params.normalized()
-	k.x = ds.X
-	k.y = ds.Y
-	k.classes = ds.Classes
+	d := ds.Features()
+	k.cols = make([][]float64, d) //greenlint:allow rowmajor columnar training-column table, one slice per feature
+	for j := 0; j < d; j++ {
+		k.cols[j] = ds.ColInto(j, nil)
+	}
+	k.y = ds.LabelsInto(nil)
+	k.classes = ds.Classes()
 	return Cost{Generic: float64(ds.Rows())}, nil
 }
 
-// PredictProba implements Classifier.
-func (k *KNN) PredictProba(x [][]float64) ([][]float64, Cost) {
-	if len(k.x) == 0 {
-		return uniformProba(len(x), max(k.classes, 2)), Cost{}
+// PredictProba implements Classifier. The distance scan runs
+// feature-major over the memorized columns; each query/train pair still
+// accumulates its squared distance in ascending feature order, so the
+// distances — and the neighbour ranking derived from them — are
+// bit-identical to the historical row-major scan.
+func (k *KNN) PredictProba(x tabular.View) ([][]float64, Cost) {
+	m := x.Rows()
+	if len(k.cols) == 0 || len(k.y) == 0 {
+		return uniformProba(m, max(k.classes, 2)), Cost{}
 	}
-	n := len(k.x)
-	d := len(k.x[0])
+	n := len(k.y)
+	d := len(k.cols)
 	kk := k.Params.K
 	if kk > n {
 		kk = n
 	}
-	out := make([][]float64, len(x))
+	out := make([][]float64, m) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
 	type cand struct {
 		dist  float64
 		label int
 	}
-	for i, row := range x {
+	for i := 0; i < m; i++ {
 		cands := make([]cand, n)
-		for t, train := range k.x {
-			var dist float64
-			for j := range train {
-				diff := train[j] - row[j]
-				dist += diff * diff
+		for t := range cands {
+			cands[t].label = k.y[t]
+		}
+		for j := 0; j < d; j++ {
+			q := x.At(i, j)
+			for t, v := range k.cols[j] {
+				diff := v - q
+				cands[t].dist += diff * diff
 			}
-			cands[t] = cand{dist: dist, label: k.y[t]}
 		}
 		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
 		votes := make([]float64, k.classes)
@@ -85,7 +99,7 @@ func (k *KNN) PredictProba(x [][]float64) ([][]float64, Cost) {
 		normalizeInPlace(votes)
 		out[i] = votes
 	}
-	scanCost := float64(len(x)) * float64(n) * (3*float64(d) + 15)
+	scanCost := float64(m) * float64(n) * (3*float64(d) + 15)
 	return out, Cost{Generic: scanCost}
 }
 
@@ -102,4 +116,4 @@ func (k *KNN) Name() string {
 func (k *KNN) ParallelFrac() float64 { return 0.8 }
 
 // StoredRows reports the memorized training-set size.
-func (k *KNN) StoredRows() int { return len(k.x) }
+func (k *KNN) StoredRows() int { return len(k.y) }

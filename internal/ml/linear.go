@@ -62,25 +62,28 @@ func NewLogisticRegression(p LinearParams) *LogisticRegression {
 }
 
 // Fit implements Classifier.
-func (lr *LogisticRegression) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+func (lr *LogisticRegression) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	p := lr.Params.normalized()
 	lr.Params = p
-	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes()
 	lr.classes = k
 	lr.core = newLinearCore(k, d)
 
+	labels := ds.LabelsInto(nil)
 	proba := make([]float64, k)
+	rowBuf := make([]float64, d)
 	step := 0
 	for epoch := 0; epoch < p.Epochs; epoch++ {
 		for _, i := range rng.Perm(n) {
 			step++
-			row := ds.X[i]
+			row := ds.Row(i, rowBuf)
+			rowBuf = row
 			lr.core.logits(row, proba)
 			softmaxInPlace(proba)
 			eta := p.LearningRate / (1 + 0.01*float64(step))
 			for c := 0; c < k; c++ {
 				grad := proba[c]
-				if ds.Y[i] == c {
+				if labels[i] == c {
 					grad -= 1
 				}
 				w := lr.core.weights[c]
@@ -95,20 +98,23 @@ func (lr *LogisticRegression) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, er
 }
 
 // PredictProba implements Classifier.
-func (lr *LogisticRegression) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (lr *LogisticRegression) PredictProba(x tabular.View) ([][]float64, Cost) {
+	m := x.Rows()
 	if len(lr.core.weights) == 0 {
-		return uniformProba(len(x), max(lr.classes, 2)), Cost{}
+		return uniformProba(m, max(lr.classes, 2)), Cost{}
 	}
-	out := make([][]float64, len(x))
-	d := 0
-	for i, row := range x {
-		d = len(row)
+	out := make([][]float64, m) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
+	d := x.Features()
+	var rowBuf []float64
+	for i := 0; i < m; i++ {
+		row := x.Row(i, rowBuf)
+		rowBuf = row
 		proba := make([]float64, lr.classes)
 		lr.core.logits(row, proba)
 		softmaxInPlace(proba)
 		out[i] = proba
 	}
-	return out, Cost{Generic: float64(len(x)) * float64(d) * float64(lr.classes) * 2}
+	return out, Cost{Generic: float64(m) * float64(d) * float64(lr.classes) * 2}
 }
 
 // Clone implements Classifier.
@@ -137,22 +143,25 @@ func NewLinearSVM(p LinearParams) *LinearSVM {
 }
 
 // Fit implements Classifier.
-func (s *LinearSVM) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+func (s *LinearSVM) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	p := s.Params.normalized()
 	s.Params = p
-	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes()
 	s.classes = k
 	s.core = newLinearCore(k, d)
 
+	labels := ds.LabelsInto(nil)
+	rowBuf := make([]float64, d)
 	step := 0
 	for epoch := 0; epoch < p.Epochs; epoch++ {
 		for _, i := range rng.Perm(n) {
 			step++
-			row := ds.X[i]
+			row := ds.Row(i, rowBuf)
+			rowBuf = row
 			eta := p.LearningRate / (1 + 0.01*float64(step))
 			for c := 0; c < k; c++ {
 				target := -1.0
-				if ds.Y[i] == c {
+				if labels[i] == c {
 					target = 1.0
 				}
 				w := s.core.weights[c]
@@ -178,20 +187,23 @@ func (s *LinearSVM) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 }
 
 // PredictProba implements Classifier.
-func (s *LinearSVM) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (s *LinearSVM) PredictProba(x tabular.View) ([][]float64, Cost) {
+	m := x.Rows()
 	if len(s.core.weights) == 0 {
-		return uniformProba(len(x), max(s.classes, 2)), Cost{}
+		return uniformProba(m, max(s.classes, 2)), Cost{}
 	}
-	out := make([][]float64, len(x))
-	d := 0
-	for i, row := range x {
-		d = len(row)
+	out := make([][]float64, m) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
+	d := x.Features()
+	var rowBuf []float64
+	for i := 0; i < m; i++ {
+		row := x.Row(i, rowBuf)
+		rowBuf = row
 		margins := make([]float64, s.classes)
 		s.core.logits(row, margins)
 		softmaxInPlace(margins)
 		out[i] = margins
 	}
-	return out, Cost{Generic: float64(len(x)) * float64(d) * float64(s.classes) * 2}
+	return out, Cost{Generic: float64(m) * float64(d) * float64(s.classes) * 2}
 }
 
 // Clone implements Classifier.
@@ -208,7 +220,7 @@ func (s *LinearSVM) ParallelFrac() float64 { return 0.1 }
 
 func newLinearCore(classes, features int) linearCore {
 	core := linearCore{
-		weights: make([][]float64, classes),
+		weights: make([][]float64, classes), //greenlint:allow rowmajor class-by-feature weight matrix - model parameters
 		bias:    make([]float64, classes),
 	}
 	for k := range core.weights {

@@ -68,12 +68,14 @@ func (c Cost) Works(parallelFrac float64) []hw.Work {
 }
 
 // Classifier is a trainable multi-class probabilistic classifier.
+// Training and prediction inputs are zero-copy tabular.Views over
+// columnar frames; kernels read feature columns natively.
 type Classifier interface {
-	// Fit trains on the dataset and reports the training cost.
-	Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error)
-	// PredictProba returns one probability row per input row and the
+	// Fit trains on the viewed data and reports the training cost.
+	Fit(ds tabular.View, rng *rand.Rand) (Cost, error)
+	// PredictProba returns one probability row per viewed row and the
 	// prediction cost. It must only be called after a successful Fit.
-	PredictProba(x [][]float64) ([][]float64, Cost)
+	PredictProba(x tabular.View) ([][]float64, Cost)
 	// Clone returns a fresh, untrained classifier with identical
 	// hyperparameters.
 	Clone() Classifier
@@ -87,14 +89,15 @@ type Classifier interface {
 // Regressor is a trainable single-output regressor (used by gradient
 // boosting and by the Bayesian-optimization surrogate).
 type Regressor interface {
-	// FitReg trains on rows x with targets y and reports the cost.
-	FitReg(x [][]float64, y []float64, rng *rand.Rand) (Cost, error)
-	// PredictReg returns one prediction per input row and the cost.
-	PredictReg(x [][]float64) ([]float64, Cost)
+	// FitReg trains on the viewed rows with targets y (indexed by view
+	// row) and reports the cost.
+	FitReg(x tabular.View, y []float64, rng *rand.Rand) (Cost, error)
+	// PredictReg returns one prediction per viewed row and the cost.
+	PredictReg(x tabular.View) ([]float64, Cost)
 }
 
 // Predict converts a classifier's probability output into hard labels.
-func Predict(c Classifier, x [][]float64) ([]int, Cost) {
+func Predict(c Classifier, x tabular.View) ([]int, Cost) {
 	proba, cost := c.PredictProba(x)
 	labels := make([]int, len(proba))
 	for i, row := range proba {
@@ -160,7 +163,7 @@ func normalizeInPlace(v []float64) {
 
 // uniformProba returns n rows of uniform class probabilities.
 func uniformProba(n, classes int) [][]float64 {
-	out := make([][]float64, n)
+	out := make([][]float64, n) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
 	for i := range out {
 		row := make([]float64, classes)
 		for j := range row {

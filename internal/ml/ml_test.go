@@ -61,14 +61,14 @@ func TestClassifiersLearnSeparableData(t *testing.T) {
 	for name, clf := range allClassifiers() {
 		clf := clf
 		t.Run(name, func(t *testing.T) {
-			cost, err := clf.Fit(train, testRNG(3))
+			cost, err := clf.Fit(train.View(), testRNG(3))
 			if err != nil {
 				t.Fatalf("Fit: %v", err)
 			}
 			if cost.Total() <= 0 {
 				t.Error("training reported no cost")
 			}
-			pred, predCost := Predict(clf, test.X)
+			pred, predCost := Predict(clf, test.View())
 			if predCost.Total() <= 0 {
 				t.Error("prediction reported no cost")
 			}
@@ -91,10 +91,10 @@ func TestTreeModelsSolveXOR(t *testing.T) {
 		"mlp":    NewMLP(MLPParams{Hidden: []int{16}, Epochs: 60, LearningRate: 0.1}),
 	}
 	for name, clf := range nonlinear {
-		if _, err := clf.Fit(train, testRNG(6)); err != nil {
+		if _, err := clf.Fit(train.View(), testRNG(6)); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		pred, _ := Predict(clf, test.X)
+		pred, _ := Predict(clf, test.View())
 		if acc := metrics.Accuracy(test.Y, pred); acc < 0.85 {
 			t.Errorf("%s: accuracy %.3f on XOR, want nonlinear capacity", name, acc)
 		}
@@ -102,8 +102,8 @@ func TestTreeModelsSolveXOR(t *testing.T) {
 	// A linear model must fail on XOR — that's what makes the search
 	// space interesting.
 	lin := NewLogisticRegression(LinearParams{Epochs: 40})
-	lin.Fit(train, testRNG(7))
-	pred, _ := Predict(lin, test.X)
+	lin.Fit(train.View(), testRNG(7))
+	pred, _ := Predict(lin, test.View())
 	if acc := metrics.Accuracy(test.Y, pred); acc > 0.75 {
 		t.Errorf("logistic regression scored %.3f on XOR — the generator is not nonlinear", acc)
 	}
@@ -114,13 +114,13 @@ func TestTreeModelsSolveXOR(t *testing.T) {
 func TestProbabilityRowsAreDistributions(t *testing.T) {
 	train := separableBlob(120, 3, testRNG(8))
 	for name, clf := range allClassifiers() {
-		if _, err := clf.Fit(train, testRNG(9)); err != nil {
+		if _, err := clf.Fit(train.View(), testRNG(9)); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		clf := clf
 		property := func(raw [3]int16) bool {
 			row := []float64{float64(raw[0]) / 100, float64(raw[1]) / 100, float64(raw[2]) / 100}
-			proba, _ := clf.PredictProba([][]float64{row})
+			proba, _ := clf.PredictProba(tabular.FromRows([][]float64{row}))
 			var sum float64
 			for _, p := range proba[0] {
 				if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
@@ -139,7 +139,7 @@ func TestProbabilityRowsAreDistributions(t *testing.T) {
 func TestCloneIsUntrainedWithSameParams(t *testing.T) {
 	train := separableBlob(100, 3, testRNG(11))
 	for name, clf := range allClassifiers() {
-		if _, err := clf.Fit(train, testRNG(12)); err != nil {
+		if _, err := clf.Fit(train.View(), testRNG(12)); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		clone := clf.Clone()
@@ -148,7 +148,7 @@ func TestCloneIsUntrainedWithSameParams(t *testing.T) {
 		}
 		// The clone must predict uniformly (or at least differently)
 		// before its own Fit — it must not share trained state.
-		proba, _ := clone.PredictProba([][]float64{{0, 0, 0}})
+		proba, _ := clone.PredictProba(tabular.FromRows([][]float64{{0, 0, 0}}))
 		uniform := true
 		for _, p := range proba[0] {
 			if math.Abs(p-1/float64(len(proba[0]))) > 1e-9 {
@@ -170,10 +170,10 @@ func TestFitDeterminism(t *testing.T) {
 		"mlp":    func() Classifier { return NewMLP(MLPParams{Hidden: []int{8}, Epochs: 10}) },
 	} {
 		a, b := build(), build()
-		a.Fit(train, testRNG(15))
-		b.Fit(train, testRNG(15))
-		pa, _ := a.PredictProba(test.X)
-		pb, _ := b.PredictProba(test.X)
+		a.Fit(train.View(), testRNG(15))
+		b.Fit(train.View(), testRNG(15))
+		pa, _ := a.PredictProba(test.View())
+		pb, _ := b.PredictProba(test.View())
 		for i := range pa {
 			for j := range pa[i] {
 				if pa[i][j] != pb[i][j] {
@@ -193,8 +193,8 @@ func TestCostGrowsWithData(t *testing.T) {
 		"gnb":    func() Classifier { return NewGaussianNB() },
 	} {
 		a, b := build(), build()
-		costSmall, _ := a.Fit(small, testRNG(18))
-		costLarge, _ := b.Fit(large, testRNG(18))
+		costSmall, _ := a.Fit(small.View(), testRNG(18))
+		costLarge, _ := b.Fit(large.View(), testRNG(18))
 		if costLarge.Total() <= costSmall.Total() {
 			t.Errorf("%s: cost did not grow with data (%.0f vs %.0f)", name, costLarge.Total(), costSmall.Total())
 		}
@@ -204,12 +204,12 @@ func TestCostGrowsWithData(t *testing.T) {
 func TestCostBuckets(t *testing.T) {
 	train := separableBlob(100, 3, testRNG(19))
 	tree := NewTreeClassifier(TreeParams{MaxDepth: 6})
-	cost, _ := tree.Fit(train, testRNG(20))
+	cost, _ := tree.Fit(train.View(), testRNG(20))
 	if cost.Tree <= 0 || cost.Matrix != 0 {
 		t.Errorf("tree cost in wrong buckets: %+v", cost)
 	}
 	mlp := NewMLP(MLPParams{Hidden: []int{8}, Epochs: 5})
-	cost, _ = mlp.Fit(train, testRNG(21))
+	cost, _ = mlp.Fit(train.View(), testRNG(21))
 	if cost.Matrix <= 0 || cost.Tree != 0 {
 		t.Errorf("mlp cost in wrong buckets: %+v", cost)
 	}
@@ -246,9 +246,9 @@ func TestTreeDepthLimit(t *testing.T) {
 		train.Y[i*7%300] = 1 - train.Y[i*7%300]
 	}
 	shallow := NewTreeClassifier(TreeParams{MaxDepth: 2})
-	shallow.Fit(train, testRNG(23))
+	shallow.Fit(train.View(), testRNG(23))
 	deep := NewTreeClassifier(TreeParams{MaxDepth: 12})
-	deep.Fit(train, testRNG(23))
+	deep.Fit(train.View(), testRNG(23))
 	if shallow.NodeCount() > 7 {
 		t.Errorf("depth-2 tree has %d nodes, want <= 7", shallow.NodeCount())
 	}
@@ -260,9 +260,9 @@ func TestTreeDepthLimit(t *testing.T) {
 func TestTreeMinLeaf(t *testing.T) {
 	train := xorBlob(200, testRNG(24))
 	big := NewTreeClassifier(TreeParams{MaxDepth: 20, MinSamplesLeaf: 50})
-	big.Fit(train, testRNG(25))
+	big.Fit(train.View(), testRNG(25))
 	small := NewTreeClassifier(TreeParams{MaxDepth: 20, MinSamplesLeaf: 1})
-	small.Fit(train, testRNG(25))
+	small.Fit(train.View(), testRNG(25))
 	if big.NodeCount() >= small.NodeCount() {
 		t.Errorf("min_leaf=50 tree (%d nodes) not smaller than min_leaf=1 (%d)", big.NodeCount(), small.NodeCount())
 	}
@@ -270,11 +270,11 @@ func TestTreeMinLeaf(t *testing.T) {
 
 func TestTreeFitErrors(t *testing.T) {
 	tree := NewTreeClassifier(TreeParams{})
-	if _, err := tree.Fit(&tabular.Dataset{Classes: 2}, testRNG(26)); err == nil {
+	if _, err := tree.Fit((&tabular.Dataset{Classes: 2}).View(), testRNG(26)); err == nil {
 		t.Error("empty dataset accepted")
 	}
 	reg := NewTreeRegressor(TreeParams{})
-	if _, err := reg.FitReg([][]float64{{1}}, []float64{1, 2}, testRNG(27)); err == nil {
+	if _, err := reg.FitReg(tabular.FromRows([][]float64{{1}}), []float64{1, 2}, testRNG(27)); err == nil {
 		t.Error("length mismatch accepted")
 	}
 }
@@ -293,10 +293,10 @@ func TestRegressionTreeFitsStep(t *testing.T) {
 		ys = append(ys, y+0.05*rng.NormFloat64())
 	}
 	tree := NewTreeRegressor(TreeParams{MaxDepth: 3})
-	if _, err := tree.FitReg(xs, ys, rng); err != nil {
+	if _, err := tree.FitReg(tabular.FromRows(xs), ys, rng); err != nil {
 		t.Fatal(err)
 	}
-	pred, _ := tree.PredictReg([][]float64{{2}, {8}})
+	pred, _ := tree.PredictReg(tabular.FromRows([][]float64{{2}, {8}}))
 	if math.Abs(pred[0]-1) > 0.3 || math.Abs(pred[1]-3) > 0.3 {
 		t.Errorf("step function fit: %v, want ~[1 3]", pred)
 	}
@@ -312,10 +312,10 @@ func TestForestRegressorStd(t *testing.T) {
 		ys = append(ys, 2*x)
 	}
 	f := NewForestRegressor(ForestParams{Trees: 10, Bootstrap: true})
-	if _, err := f.FitReg(xs, ys, rng); err != nil {
+	if _, err := f.FitReg(tabular.FromRows(xs), ys, rng); err != nil {
 		t.Fatal(err)
 	}
-	mean, std, _ := f.PredictWithStd([][]float64{{0.5}})
+	mean, std, _ := f.PredictWithStd(tabular.FromRows([][]float64{{0.5}}))
 	if math.Abs(mean[0]-1) > 0.3 {
 		t.Errorf("mean %v, want ~1", mean[0])
 	}
@@ -328,11 +328,11 @@ func TestBoostingImprovesWithRounds(t *testing.T) {
 	train := xorBlob(300, testRNG(30))
 	test := xorBlob(120, testRNG(31))
 	few := NewBoostingClassifier(BoostingParams{Rounds: 1, Tree: TreeParams{MaxDepth: 1}})
-	few.Fit(train, testRNG(32))
+	few.Fit(train.View(), testRNG(32))
 	many := NewBoostingClassifier(BoostingParams{Rounds: 40, Tree: TreeParams{MaxDepth: 2}})
-	many.Fit(train, testRNG(32))
-	predFew, _ := Predict(few, test.X)
-	predMany, _ := Predict(many, test.X)
+	many.Fit(train.View(), testRNG(32))
+	predFew, _ := Predict(few, test.View())
+	predMany, _ := Predict(many, test.View())
 	if metrics.Accuracy(test.Y, predMany) <= metrics.Accuracy(test.Y, predFew) {
 		t.Errorf("boosting did not improve with rounds: %v vs %v",
 			metrics.Accuracy(test.Y, predMany), metrics.Accuracy(test.Y, predFew))
@@ -342,8 +342,8 @@ func TestBoostingImprovesWithRounds(t *testing.T) {
 func TestKNNMemorizesWithK1(t *testing.T) {
 	train := separableBlob(60, 3, testRNG(33))
 	knn := NewKNN(KNNParams{K: 1})
-	knn.Fit(train, testRNG(34))
-	pred, _ := Predict(knn, train.X)
+	knn.Fit(train.View(), testRNG(34))
+	pred, _ := Predict(knn, train.View())
 	if acc := metrics.Accuracy(train.Y, pred); acc != 1 {
 		t.Errorf("1-NN training accuracy %v, want 1", acc)
 	}
@@ -357,11 +357,11 @@ func TestKNNInferenceCostScalesWithTrainingSet(t *testing.T) {
 	large := separableBlob(500, 3, testRNG(36))
 	query := [][]float64{{0, 0, 0}}
 	a := NewKNN(KNNParams{K: 3})
-	a.Fit(small, testRNG(37))
-	_, costSmall := a.PredictProba(query)
+	a.Fit(small.View(), testRNG(37))
+	_, costSmall := a.PredictProba(tabular.FromRows(query))
 	b := NewKNN(KNNParams{K: 3})
-	b.Fit(large, testRNG(37))
-	_, costLarge := b.PredictProba(query)
+	b.Fit(large.View(), testRNG(37))
+	_, costLarge := b.PredictProba(tabular.FromRows(query))
 	if costLarge.Total() < 5*costSmall.Total() {
 		t.Errorf("lazy-learner inference cost did not scale: %v vs %v", costLarge.Total(), costSmall.Total())
 	}
@@ -369,7 +369,7 @@ func TestKNNInferenceCostScalesWithTrainingSet(t *testing.T) {
 
 func TestUnfittedClassifiersReturnUniform(t *testing.T) {
 	for name, clf := range allClassifiers() {
-		proba, _ := clf.PredictProba([][]float64{{1, 2, 3}})
+		proba, _ := clf.PredictProba(tabular.FromRows([][]float64{{1, 2, 3}}))
 		if len(proba) != 1 || len(proba[0]) < 2 {
 			t.Errorf("%s: unfitted proba shape %v", name, proba)
 			continue
@@ -397,10 +397,10 @@ func TestMulticlass(t *testing.T) {
 		ds.Y = append(ds.Y, c)
 	}
 	for name, clf := range allClassifiers() {
-		if _, err := clf.Fit(ds, testRNG(39)); err != nil {
+		if _, err := clf.Fit(ds.View(), testRNG(39)); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		pred, _ := Predict(clf, ds.X)
+		pred, _ := Predict(clf, ds.View())
 		if acc := metrics.BalancedAccuracy(ds.Y, pred, 4); acc < 0.9 {
 			t.Errorf("%s: 4-class balanced accuracy %.3f", name, acc)
 		}

@@ -62,12 +62,15 @@ type MLP struct {
 // NewMLP constructs an MLP classifier.
 func NewMLP(p MLPParams) *MLP { return &MLP{Params: p} }
 
-// Fit implements Classifier.
-func (m *MLP) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
+// Fit implements Classifier. SGD visits rows in a random order every
+// epoch, gathering each visited row straight from the view's columns
+// into the input activation buffer.
+func (m *MLP) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	p := m.Params.normalized()
 	m.Params = p
-	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes()
 	m.classes = k
+	labels := ds.LabelsInto(nil)
 
 	sizes := append([]int{d}, p.Hidden...)
 	sizes = append(sizes, k)
@@ -76,7 +79,7 @@ func (m *MLP) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 	for l := range m.layers {
 		in, out := sizes[l], sizes[l+1]
 		layer := mlpLayer{
-			w:    make([][]float64, out),
+			w:    make([][]float64, out), //greenlint:allow rowmajor layer weight matrix - model parameters
 			b:    make([]float64, out),
 			last: l == len(m.layers)-1,
 		}
@@ -92,8 +95,8 @@ func (m *MLP) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 	}
 
 	// Preallocate activation and delta buffers.
-	acts := make([][]float64, len(sizes))
-	deltas := make([][]float64, len(sizes))
+	acts := make([][]float64, len(sizes))   //greenlint:allow rowmajor per-layer activation scratch, layer-wide
+	deltas := make([][]float64, len(sizes)) //greenlint:allow rowmajor per-layer delta scratch, layer-wide
 	for l, s := range sizes {
 		acts[l] = make([]float64, s)
 		deltas[l] = make([]float64, s)
@@ -102,12 +105,12 @@ func (m *MLP) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
 	for epoch := 0; epoch < p.Epochs; epoch++ {
 		eta := p.LearningRate / (1 + 0.05*float64(epoch))
 		for _, i := range rng.Perm(n) {
-			copy(acts[0], ds.X[i])
+			ds.Row(i, acts[0])
 			m.forward(acts)
 			// Output delta: softmax cross-entropy gradient.
 			for c := 0; c < k; c++ {
 				target := 0.0
-				if ds.Y[i] == c {
+				if labels[i] == c {
 					target = 1.0
 				}
 				deltas[len(deltas)-1][c] = acts[len(acts)-1][c] - target
@@ -171,9 +174,10 @@ func (m *MLP) backward(acts, deltas [][]float64, eta, l2 float64) {
 }
 
 // PredictProba implements Classifier.
-func (m *MLP) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (m *MLP) PredictProba(x tabular.View) ([][]float64, Cost) {
+	n := x.Rows()
 	if len(m.layers) == 0 {
-		return uniformProba(len(x), max(m.classes, 2)), Cost{}
+		return uniformProba(n, max(m.classes, 2)), Cost{}
 	}
 	var weightCount float64
 	for _, layer := range m.layers {
@@ -181,8 +185,11 @@ func (m *MLP) PredictProba(x [][]float64) ([][]float64, Cost) {
 			weightCount += float64(len(w))
 		}
 	}
-	out := make([][]float64, len(x))
-	for i, row := range x {
+	out := make([][]float64, n) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
+	var rowBuf []float64
+	for i := 0; i < n; i++ {
+		row := x.Row(i, rowBuf)
+		rowBuf = row
 		cur := row
 		for _, layer := range m.layers {
 			next := make([]float64, len(layer.w))
@@ -204,7 +211,7 @@ func (m *MLP) PredictProba(x [][]float64) ([][]float64, Cost) {
 		}
 		out[i] = cur
 	}
-	return out, Cost{Matrix: float64(len(x)) * weightCount * 2}
+	return out, Cost{Matrix: float64(n) * weightCount * 2}
 }
 
 // Clone implements Classifier.

@@ -21,23 +21,33 @@ type GaussianNB struct {
 // NewGaussianNB constructs a Gaussian naive-Bayes classifier.
 func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
 
-// Fit implements Classifier.
-func (g *GaussianNB) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
-	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+// Fit implements Classifier. Moments are accumulated column-by-column
+// over the view; each (class, feature) cell still sums its members in
+// ascending row order, so the fitted parameters are bit-identical to the
+// historical row-major pass.
+func (g *GaussianNB) Fit(ds tabular.View, _ *rand.Rand) (Cost, error) {
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes()
 	g.classes = k
 	g.logPrior = make([]float64, k)
-	g.mean = make([][]float64, k)
-	g.variance = make([][]float64, k)
+	g.mean = make([][]float64, k)     //greenlint:allow rowmajor per-class mean vectors - model parameters
+	g.variance = make([][]float64, k) //greenlint:allow rowmajor per-class variance vectors - model parameters
 	counts := make([]float64, k)
 	for c := 0; c < k; c++ {
 		g.mean[c] = make([]float64, d)
 		g.variance[c] = make([]float64, d)
 	}
-	for i, row := range ds.X {
-		c := ds.Y[i]
+	labels := ds.LabelsInto(nil)
+	for _, c := range labels {
 		counts[c]++
-		for j, v := range row {
-			g.mean[c][j] += v
+	}
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
+	}
+	for j := 0; j < d; j++ {
+		col := ds.ColInto(j, colBuf)
+		for i, v := range col {
+			g.mean[labels[i]][j] += v
 		}
 	}
 	for c := 0; c < k; c++ {
@@ -49,9 +59,10 @@ func (g *GaussianNB) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
 			g.mean[c][j] /= counts[c]
 		}
 	}
-	for i, row := range ds.X {
-		c := ds.Y[i]
-		for j, v := range row {
+	for j := 0; j < d; j++ {
+		col := ds.ColInto(j, colBuf)
+		for i, v := range col {
+			c := labels[i]
 			diff := v - g.mean[c][j]
 			g.variance[c][j] += diff * diff
 		}
@@ -70,14 +81,17 @@ func (g *GaussianNB) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
 }
 
 // PredictProba implements Classifier.
-func (g *GaussianNB) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (g *GaussianNB) PredictProba(x tabular.View) ([][]float64, Cost) {
+	m := x.Rows()
 	if g.mean == nil {
-		return uniformProba(len(x), max(g.classes, 2)), Cost{}
+		return uniformProba(m, max(g.classes, 2)), Cost{}
 	}
-	out := make([][]float64, len(x))
-	d := 0
-	for i, row := range x {
-		d = len(row)
+	out := make([][]float64, m) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
+	d := x.Features()
+	var rowBuf []float64
+	for i := 0; i < m; i++ {
+		row := x.Row(i, rowBuf)
+		rowBuf = row
 		logp := make([]float64, g.classes)
 		for c := 0; c < g.classes; c++ {
 			lp := g.logPrior[c]
@@ -90,7 +104,7 @@ func (g *GaussianNB) PredictProba(x [][]float64) ([][]float64, Cost) {
 		softmaxInPlace(logp)
 		out[i] = logp
 	}
-	return out, Cost{Generic: float64(len(x)) * float64(d) * float64(g.classes) * 5}
+	return out, Cost{Generic: float64(m) * float64(d) * float64(g.classes) * 5}
 }
 
 // Clone implements Classifier.
@@ -119,38 +133,43 @@ type BernoulliNB struct {
 func NewBernoulliNB(alpha float64) *BernoulliNB { return &BernoulliNB{Alpha: alpha} }
 
 // Fit implements Classifier.
-func (b *BernoulliNB) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
+func (b *BernoulliNB) Fit(ds tabular.View, _ *rand.Rand) (Cost, error) {
 	alpha := b.Alpha
 	if alpha <= 0 {
 		alpha = 1
 	}
-	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes()
 	b.classes = k
 	b.thresholds = make([]float64, d)
-	for j := 0; j < d; j++ {
-		var sum float64
-		for _, row := range ds.X {
-			sum += row[j]
-		}
-		b.thresholds[j] = sum / float64(n)
-	}
+	labels := ds.LabelsInto(nil)
 	counts := make([]float64, k)
-	ones := make([][]float64, k)
+	for _, c := range labels {
+		counts[c]++
+	}
+	ones := make([][]float64, k) //greenlint:allow rowmajor per-class feature-count vectors - model parameters
 	for c := range ones {
 		ones[c] = make([]float64, d)
 	}
-	for i, row := range ds.X {
-		c := ds.Y[i]
-		counts[c]++
-		for j, v := range row {
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
+	}
+	for j := 0; j < d; j++ {
+		col := ds.ColInto(j, colBuf)
+		var sum float64
+		for _, v := range col {
+			sum += v
+		}
+		b.thresholds[j] = sum / float64(n)
+		for i, v := range col {
 			if v > b.thresholds[j] {
-				ones[c][j]++
+				ones[labels[i]][j]++
 			}
 		}
 	}
 	b.logPrior = make([]float64, k)
-	b.logP = make([][]float64, k)
-	b.logQ = make([][]float64, k)
+	b.logP = make([][]float64, k) //greenlint:allow rowmajor per-class log-probability table - model parameters
+	b.logQ = make([][]float64, k) //greenlint:allow rowmajor per-class log-probability table - model parameters
 	for c := 0; c < k; c++ {
 		b.logPrior[c] = math.Log((counts[c] + 1) / (float64(n) + float64(k)))
 		b.logP[c] = make([]float64, d)
@@ -165,13 +184,17 @@ func (b *BernoulliNB) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
 }
 
 // PredictProba implements Classifier.
-func (b *BernoulliNB) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (b *BernoulliNB) PredictProba(x tabular.View) ([][]float64, Cost) {
+	m := x.Rows()
 	if b.logP == nil {
-		return uniformProba(len(x), max(b.classes, 2)), Cost{}
+		return uniformProba(m, max(b.classes, 2)), Cost{}
 	}
-	out := make([][]float64, len(x))
+	out := make([][]float64, m) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
 	d := len(b.thresholds)
-	for i, row := range x {
+	var rowBuf []float64
+	for i := 0; i < m; i++ {
+		row := x.Row(i, rowBuf)
+		rowBuf = row
 		logp := make([]float64, b.classes)
 		for c := 0; c < b.classes; c++ {
 			lp := b.logPrior[c]
@@ -190,7 +213,7 @@ func (b *BernoulliNB) PredictProba(x [][]float64) ([][]float64, Cost) {
 		softmaxInPlace(logp)
 		out[i] = logp
 	}
-	return out, Cost{Generic: float64(len(x)) * float64(d) * float64(b.classes) * 2}
+	return out, Cost{Generic: float64(m) * float64(d) * float64(b.classes) * 2}
 }
 
 // Clone implements Classifier.

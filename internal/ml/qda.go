@@ -29,34 +29,53 @@ type QDA struct {
 // NewQDA constructs a QDA classifier.
 func NewQDA(reg float64) *QDA { return &QDA{Reg: reg} }
 
-// Fit implements Classifier.
-func (q *QDA) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
+// Fit implements Classifier. Class moments are accumulated column-pair by
+// column-pair over the view's columns; each (class, a, b) covariance cell
+// still sums its members in ascending row order, so the fitted Gaussians
+// are bit-identical to the historical row-major pass.
+func (q *QDA) Fit(ds tabular.View, _ *rand.Rand) (Cost, error) {
 	reg := q.Reg
 	if reg <= 0 {
 		reg = 1e-3
 	}
-	n, d, k := ds.Rows(), ds.Features(), ds.Classes
+	n, d, k := ds.Rows(), ds.Features(), ds.Classes()
 	if d > 64 {
 		return Cost{}, fmt.Errorf("ml: qda limited to 64 features, got %d (use feature selection first)", d)
 	}
 	q.classes, q.dim = k, d
 	q.logPrior = make([]float64, k)
-	q.means = make([][]float64, k)
+	q.means = make([][]float64, k) //greenlint:allow rowmajor per-class mean vectors - model parameters
 	q.invCovs = make([][][]float64, k)
 	q.logDets = make([]float64, k)
 
+	labels := ds.LabelsInto(nil)
 	byClass := make([][]int, k)
-	for i, y := range ds.Y {
+	for i, y := range labels {
 		byClass[y] = append(byClass[y], i)
+	}
+	// Resolve working columns once: frame aliases for identity views
+	// (zero-copy), one arena gather for subset views.
+	cols := make([][]float64, d) //greenlint:allow rowmajor columnar per-feature column cache
+	var arena []float64
+	if !ds.Contiguous() {
+		arena = make([]float64, n*d)
+	}
+	for j := 0; j < d; j++ {
+		var dst []float64
+		if arena != nil {
+			dst = arena[j*n : (j+1)*n : (j+1)*n]
+		}
+		cols[j] = ds.ColInto(j, dst)
 	}
 	var cost Cost
 	for c := 0; c < k; c++ {
 		members := byClass[c]
 		q.logPrior[c] = math.Log((float64(len(members)) + 1) / (float64(n) + float64(k)))
 		mean := make([]float64, d)
-		for _, i := range members {
-			for j, v := range ds.X[i] {
-				mean[j] += v
+		for j := 0; j < d; j++ {
+			col := cols[j]
+			for _, i := range members {
+				mean[j] += col[i]
 			}
 		}
 		if len(members) > 0 {
@@ -66,17 +85,19 @@ func (q *QDA) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
 		}
 		q.means[c] = mean
 
-		cov := make([][]float64, d)
+		cov := make([][]float64, d) //greenlint:allow rowmajor d x d covariance - model parameters
 		for a := range cov {
 			cov[a] = make([]float64, d)
 		}
-		for _, i := range members {
-			row := ds.X[i]
-			for a := 0; a < d; a++ {
-				da := row[a] - mean[a]
-				for b := a; b < d; b++ {
-					cov[a][b] += da * (row[b] - mean[b])
+		for a := 0; a < d; a++ {
+			colA, meanA := cols[a], mean[a]
+			for b := a; b < d; b++ {
+				colB, meanB := cols[b], mean[b]
+				var sum float64
+				for _, i := range members {
+					sum += (colA[i] - meanA) * (colB[i] - meanB)
 				}
+				cov[a][b] = sum
 			}
 		}
 		denom := math.Max(float64(len(members)-1), 1)
@@ -103,7 +124,7 @@ func (q *QDA) Fit(ds *tabular.Dataset, _ *rand.Rand) (Cost, error) {
 func invertSPD(m [][]float64) ([][]float64, float64, error) {
 	d := len(m)
 	// Cholesky: m = L L^T.
-	l := make([][]float64, d)
+	l := make([][]float64, d) //greenlint:allow rowmajor d x d Cholesky factor scratch
 	for i := range l {
 		l[i] = make([]float64, d)
 	}
@@ -126,7 +147,7 @@ func invertSPD(m [][]float64) ([][]float64, float64, error) {
 		}
 	}
 	// Invert L (lower triangular), then inv = L^-T L^-1.
-	linv := make([][]float64, d)
+	linv := make([][]float64, d) //greenlint:allow rowmajor d x d triangular-inverse scratch
 	for i := range linv {
 		linv[i] = make([]float64, d)
 		linv[i][i] = 1 / l[i][i]
@@ -138,7 +159,7 @@ func invertSPD(m [][]float64) ([][]float64, float64, error) {
 			linv[i][j] = sum / l[i][i]
 		}
 	}
-	inv := make([][]float64, d)
+	inv := make([][]float64, d) //greenlint:allow rowmajor d x d inverse-covariance - model parameters
 	for i := range inv {
 		inv[i] = make([]float64, d)
 		for j := 0; j <= i; j++ {
@@ -154,14 +175,18 @@ func invertSPD(m [][]float64) ([][]float64, float64, error) {
 }
 
 // PredictProba implements Classifier.
-func (q *QDA) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (q *QDA) PredictProba(x tabular.View) ([][]float64, Cost) {
+	m := x.Rows()
 	if q.means == nil {
-		return uniformProba(len(x), max(q.classes, 2)), Cost{}
+		return uniformProba(m, max(q.classes, 2)), Cost{}
 	}
 	d := q.dim
-	out := make([][]float64, len(x))
+	out := make([][]float64, m) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
 	diff := make([]float64, d)
-	for i, row := range x {
+	var rowBuf []float64
+	for i := 0; i < m; i++ {
+		row := x.Row(i, rowBuf)
+		rowBuf = row
 		logp := make([]float64, q.classes)
 		for c := 0; c < q.classes; c++ {
 			for j := 0; j < d; j++ {
@@ -186,7 +211,7 @@ func (q *QDA) PredictProba(x [][]float64) ([][]float64, Cost) {
 		softmaxInPlace(logp)
 		out[i] = logp
 	}
-	return out, Cost{Matrix: float64(len(x)) * float64(q.classes) * float64(d*d) * 2}
+	return out, Cost{Matrix: float64(m) * float64(q.classes) * float64(d*d) * 2}
 }
 
 // Clone implements Classifier.

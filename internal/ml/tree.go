@@ -83,38 +83,86 @@ type treeCore struct {
 	nodes   []treeNode
 	cost    Cost
 	scratch *treeScratch // non-nil only while fit runs
+	// probaArena is the unhanded tail of the current leaf-probability
+	// block; see leafProba.
+	probaArena []float64
+}
+
+// leafProba returns a zeroed class-count vector carved from the proba
+// arena, starting a fresh block when the tail runs out. Leaf vectors
+// are retained by the fitted tree, so they can never come from pooled
+// scratch; block carving turns the one remaining per-node allocation
+// of a fit into one allocation per 64 nodes. Each vector is handed out
+// exactly once (full-capacity slice), so aliasing between nodes is
+// impossible.
+func (tc *treeCore) leafProba() []float64 {
+	k := tc.classes
+	if len(tc.probaArena) < k {
+		tc.probaArena = make([]float64, 64*k)
+	}
+	p := tc.probaArena[:k:k]
+	tc.probaArena = tc.probaArena[k:]
+	return p
 }
 
 type treeTask struct {
-	x [][]float64
-	y []int     // classification labels
-	t []float64 // regression targets
+	v tabular.View
+	y []int     // classification labels, view-local; gathered lazily if nil
+	t []float64 // regression targets, view-local
 }
 
 func (tc *treeCore) fit(task treeTask, rng *rand.Rand) error {
 	p := tc.params.normalized()
 	tc.params = p
-	n := len(task.x)
+	n := task.v.Rows()
 	if n == 0 {
 		return errors.New("ml: tree fit on empty data")
 	}
-	d := len(task.x[0])
+	d := task.v.Features()
 	if d == 0 {
 		return errors.New("ml: tree fit with zero features")
 	}
 	tc.nodes = tc.nodes[:0]
 	tc.cost = Cost{}
 
-	s := getTreeScratch(n, d, max(tc.classes, 1))
+	s := getTreeScratch(n, d, max(tc.classes, 1), !task.v.Contiguous())
 	tc.scratch = s
 	defer func() {
 		tc.scratch = nil
 		putTreeScratch(s)
 	}()
 
-	for i, row := range task.x {
+	// Columnar input: an identity view aliases the frame's columns
+	// directly — the historical per-fit row-major transpose is gone. A
+	// subset view (bootstrap, fold) gathers each column into the pooled
+	// arena with sequential writes; either way s.col(f) yields exactly
+	// the values the transpose used to produce, so everything downstream
+	// is bit-identical.
+	frameCols := task.v.Frame().Cols
+	if task.v.Contiguous() {
+		copy(s.colref, frameCols)
+	} else {
+		vidx := task.v.Indices()
 		for f := 0; f < d; f++ {
-			s.cols[f*n+i] = row[f]
+			dst := s.cols[f*n : (f+1)*n]
+			col := frameCols[f]
+			for i, r := range vidx {
+				dst[i] = col[r]
+			}
+			s.colref[f] = dst
+		}
+	}
+	if tc.classes > 0 && task.y == nil {
+		if task.v.Contiguous() {
+			task.y = task.v.Frame().Y
+		} else {
+			s.ylab = sizedInt(s.ylab, n)
+			vidx := task.v.Indices()
+			fy := task.v.Frame().Y
+			for i, r := range vidx {
+				s.ylab[i] = fy[r]
+			}
+			task.y = s.ylab
 		}
 	}
 	for i := range s.idx {
@@ -135,7 +183,7 @@ func (tc *treeCore) build(task treeTask, lo, hi, depth int, rng *rand.Rand) int3
 	node := treeNode{feature: -1, depth: depth}
 	pure := false
 	if tc.classes > 0 {
-		counts := make([]float64, tc.classes)
+		counts := tc.leafProba()
 		for _, i := range idx {
 			counts[task.y[i]]++
 		}
@@ -472,9 +520,10 @@ func (tc *treeCore) impurity(counts []float64, total float64) float64 {
 	return 1 - sumSq
 }
 
-// traverse walks a row to its leaf and returns the leaf node plus the
-// traversal cost in node visits.
-func (tc *treeCore) traverse(row []float64) (*treeNode, float64) {
+// traverse walks view row i to its leaf and returns the leaf node plus
+// the traversal cost in node visits. Each node reads a single cell from
+// the feature's column — no row materialization.
+func (tc *treeCore) traverse(v tabular.View, i int) (*treeNode, float64) {
 	if len(tc.nodes) == 0 {
 		return nil, 0
 	}
@@ -485,7 +534,7 @@ func (tc *treeCore) traverse(row []float64) (*treeNode, float64) {
 		if n.feature < 0 {
 			return n, visits
 		}
-		if row[n.feature] <= n.threshold {
+		if v.At(i, n.feature) <= n.threshold {
 			cur = n.left
 		} else {
 			cur = n.right
@@ -510,9 +559,9 @@ func NewTreeClassifier(p TreeParams) *TreeClassifier {
 }
 
 // Fit implements Classifier.
-func (t *TreeClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) {
-	t.core = treeCore{params: t.Params, classes: ds.Classes}
-	if err := t.core.fit(treeTask{x: ds.X, y: ds.Y}, rng); err != nil {
+func (t *TreeClassifier) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
+	t.core = treeCore{params: t.Params, classes: ds.Classes()}
+	if err := t.core.fit(treeTask{v: ds}, rng); err != nil {
 		return Cost{}, err
 	}
 	t.fitted = true
@@ -520,14 +569,15 @@ func (t *TreeClassifier) Fit(ds *tabular.Dataset, rng *rand.Rand) (Cost, error) 
 }
 
 // PredictProba implements Classifier.
-func (t *TreeClassifier) PredictProba(x [][]float64) ([][]float64, Cost) {
+func (t *TreeClassifier) PredictProba(x tabular.View) ([][]float64, Cost) {
+	n := x.Rows()
 	if !t.fitted {
-		return uniformProba(len(x), max(t.core.classes, 2)), Cost{}
+		return uniformProba(n, max(t.core.classes, 2)), Cost{}
 	}
-	out := make([][]float64, len(x))
+	out := make([][]float64, n) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
 	var visits float64
-	for i, row := range x {
-		leaf, v := t.core.traverse(row)
+	for i := 0; i < n; i++ {
+		leaf, v := t.core.traverse(x, i)
 		visits += v
 		out[i] = leaf.proba
 	}
@@ -563,12 +613,12 @@ func NewTreeRegressor(p TreeParams) *TreeRegressor {
 }
 
 // FitReg implements Regressor.
-func (t *TreeRegressor) FitReg(x [][]float64, y []float64, rng *rand.Rand) (Cost, error) {
-	if len(x) != len(y) {
-		return Cost{}, fmt.Errorf("ml: regression tree: %d rows but %d targets", len(x), len(y))
+func (t *TreeRegressor) FitReg(x tabular.View, y []float64, rng *rand.Rand) (Cost, error) {
+	if x.Rows() != len(y) {
+		return Cost{}, fmt.Errorf("ml: regression tree: %d rows but %d targets", x.Rows(), len(y))
 	}
 	t.core = treeCore{params: t.Params}
-	if err := t.core.fit(treeTask{x: x, t: y}, rng); err != nil {
+	if err := t.core.fit(treeTask{v: x, t: y}, rng); err != nil {
 		return Cost{}, err
 	}
 	t.fitted = true
@@ -576,14 +626,15 @@ func (t *TreeRegressor) FitReg(x [][]float64, y []float64, rng *rand.Rand) (Cost
 }
 
 // PredictReg implements Regressor.
-func (t *TreeRegressor) PredictReg(x [][]float64) ([]float64, Cost) {
-	out := make([]float64, len(x))
+func (t *TreeRegressor) PredictReg(x tabular.View) ([]float64, Cost) {
+	n := x.Rows()
+	out := make([]float64, n)
 	if !t.fitted {
 		return out, Cost{}
 	}
 	var visits float64
-	for i, row := range x {
-		leaf, v := t.core.traverse(row)
+	for i := 0; i < n; i++ {
+		leaf, v := t.core.traverse(x, i)
 		visits += v
 		out[i] = leaf.value
 	}

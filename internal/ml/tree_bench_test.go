@@ -46,7 +46,7 @@ func BenchmarkTreeCoreFit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tc := treeCore{params: TreeParams{MaxDepth: 16}, classes: ds.Classes}
-		if err := tc.fit(treeTask{x: ds.X, y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
+		if err := tc.fit(treeTask{v: ds.View(), y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +60,7 @@ func BenchmarkTreeCoreFitSubset(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tc := treeCore{params: TreeParams{MaxDepth: 16, MaxFeatures: 0.25}, classes: ds.Classes}
-		if err := tc.fit(treeTask{x: ds.X, y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
+		if err := tc.fit(treeTask{v: ds.View(), y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -75,7 +75,7 @@ func BenchmarkTreeCoreFitRegression(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tc := treeCore{params: TreeParams{MaxDepth: 16}}
-		if err := tc.fit(treeTask{x: ds.X, t: y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
+		if err := tc.fit(treeTask{v: ds.View(), t: y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +88,7 @@ func BenchmarkTreeCoreFitRandomThreshold(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tc := treeCore{params: TreeParams{MaxDepth: 16, MaxFeatures: 0.25, RandomThreshold: true}, classes: ds.Classes}
-		if err := tc.fit(treeTask{x: ds.X, y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
+		if err := tc.fit(treeTask{v: ds.View(), y: ds.Y}, rand.New(rand.NewPCG(7, 0x11))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,7 +102,21 @@ func BenchmarkForestFit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := NewForestClassifier(ForestParams{Trees: 20, Bootstrap: true, Tree: TreeParams{MaxDepth: 12}})
-		if _, err := f.Fit(ds, rand.New(rand.NewPCG(9, 0x11))); err != nil {
+		if _, err := f.Fit(ds.View(), rand.New(rand.NewPCG(9, 0x11))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistGBTFit measures the histogram gradient-boosting fit: the
+// quantization pass plus histogram-scan tree growth over all rounds.
+func BenchmarkHistGBTFit(b *testing.B) {
+	ds := benchDataset(600, 16, 3, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewHistBoosting(HistBoostingParams{Rounds: 10, MaxDepth: 3})
+		if _, err := h.Fit(ds.View(), rand.New(rand.NewPCG(9, 0x11))); err != nil {
 			b.Fatal(err)
 		}
 	}

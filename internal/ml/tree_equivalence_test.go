@@ -61,15 +61,18 @@ func TestTreeKernelMatchesLegacy(t *testing.T) {
 						dsClasses = 3 // labels only seed the regression targets
 					}
 					ds := equivDataset(n, 9, dsClasses, seed)
-					task := treeTask{x: ds.X}
+					task := treeTask{v: ds.View()}
+					legacyTask := legacyTreeTask{x: ds.X}
 					taskClasses := classes
 					if classes > 0 {
 						task.y = ds.Y
+						legacyTask.y = ds.Y
 					} else {
 						task.t = make([]float64, n)
 						for i, row := range ds.X {
 							task.t[i] = row[0]*1.3 + row[3] + float64(ds.Y[i])
 						}
+						legacyTask.t = task.t
 					}
 
 					newCore := treeCore{params: p, classes: taskClasses}
@@ -79,7 +82,7 @@ func TestTreeKernelMatchesLegacy(t *testing.T) {
 					if err := newCore.fit(task, rngNew); err != nil {
 						t.Fatalf("new fit: %v", err)
 					}
-					if err := oldCore.fit(task, rngOld); err != nil {
+					if err := oldCore.fit(legacyTask, rngOld); err != nil {
 						t.Fatalf("legacy fit: %v", err)
 					}
 

@@ -14,6 +14,13 @@ import (
 	"sort"
 )
 
+// legacyTreeTask is the kernel input in its historical row-major form.
+type legacyTreeTask struct {
+	x [][]float64
+	y []int
+	t []float64
+}
+
 type legacyTreeCore struct {
 	params  TreeParams
 	classes int
@@ -21,7 +28,7 @@ type legacyTreeCore struct {
 	cost    Cost
 }
 
-func (tc *legacyTreeCore) fit(task treeTask, rng *rand.Rand) error {
+func (tc *legacyTreeCore) fit(task legacyTreeTask, rng *rand.Rand) error {
 	p := tc.params.normalized()
 	tc.params = p
 	n := len(task.x)
@@ -43,7 +50,7 @@ func (tc *legacyTreeCore) fit(task treeTask, rng *rand.Rand) error {
 	return nil
 }
 
-func (tc *legacyTreeCore) build(task treeTask, idx []int, depth int, rng *rand.Rand) int32 {
+func (tc *legacyTreeCore) build(task legacyTreeTask, idx []int, depth int, rng *rand.Rand) int32 {
 	m := len(idx)
 	p := tc.params
 
@@ -112,7 +119,7 @@ func (tc *legacyTreeCore) push(n treeNode) int32 {
 	return int32(len(tc.nodes) - 1)
 }
 
-func (tc *legacyTreeCore) findSplit(task treeTask, idx []int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
+func (tc *legacyTreeCore) findSplit(task legacyTreeTask, idx []int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
 	d := len(task.x[0])
 	tryCount := int(math.Ceil(tc.params.MaxFeatures * float64(d)))
 	if tryCount < 1 {
@@ -151,7 +158,7 @@ func (tc *legacyTreeCore) findSplit(task treeTask, idx []int, rng *rand.Rand) (f
 	return feature, threshold, ok
 }
 
-func (tc *legacyTreeCore) evalExhaustive(task treeTask, idx []int, f int) (gain, threshold float64, ok bool) {
+func (tc *legacyTreeCore) evalExhaustive(task legacyTreeTask, idx []int, f int) (gain, threshold float64, ok bool) {
 	m := len(idx)
 	order := append([]int(nil), idx...)
 	sort.Slice(order, func(a, b int) bool { return task.x[order[a]][f] < task.x[order[b]][f] })
@@ -219,7 +226,7 @@ func (tc *legacyTreeCore) evalExhaustive(task treeTask, idx []int, f int) (gain,
 	return bestGain, bestThr, found
 }
 
-func (tc *legacyTreeCore) evalRandomThreshold(task treeTask, idx []int, f int, rng *rand.Rand) (gain, threshold float64, ok bool) {
+func (tc *legacyTreeCore) evalRandomThreshold(task legacyTreeTask, idx []int, f int, rng *rand.Rand) (gain, threshold float64, ok bool) {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, i := range idx {
 		v := task.x[i][f]

@@ -30,8 +30,16 @@ func (s *colSorter) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s
 // re-allocating per tree.
 type treeScratch struct {
 	n, d int
-	// cols is the column-major feature cache: cols[f*n+i] = x[i][f].
+	// colref[f] is the working column of feature f: an alias of the
+	// frame's own column for contiguous (identity) views, or a slice of
+	// the gather arena below for subset views.
+	colref [][]float64
+	// cols is the column-major gather arena used only for subset views:
+	// cols[f*n+i] = frame.Cols[f][view.Idx[i]]. Contiguous fits never
+	// touch it (the historical per-fit transpose is gone).
 	cols []float64
+	// ylab is the gathered view-local label scratch for subset views.
+	ylab []int
 	// sorted[f*n:(f+1)*n] lists all n sample indices ordered by feature
 	// f, built lazily on first profitable use; sortedBuilt[f] tracks it.
 	sorted      []int32
@@ -54,11 +62,16 @@ type treeScratch struct {
 var treeScratchPool = sync.Pool{New: func() any { return new(treeScratch) }}
 
 // getTreeScratch returns pooled scratch sized for n samples, d features
-// and the given class count (1 for regression).
-func getTreeScratch(n, d, classes int) *treeScratch {
+// and the given class count (1 for regression). The gather arena is
+// sized only when the fit reads a subset view (needGather); identity
+// views alias frame columns and skip it entirely.
+func getTreeScratch(n, d, classes int, needGather bool) *treeScratch {
 	s := treeScratchPool.Get().(*treeScratch)
 	s.n, s.d = n, d
-	s.cols = sizedF64(s.cols, n*d)
+	s.colref = sizedCols(s.colref, d)
+	if needGather {
+		s.cols = sizedF64(s.cols, n*d)
+	}
 	s.sorted = sizedI32(s.sorted, n*d)
 	s.sortedBuilt = sizedBool(s.sortedBuilt, d)
 	for f := range s.sortedBuilt {
@@ -80,11 +93,14 @@ func getTreeScratch(n, d, classes int) *treeScratch {
 
 func putTreeScratch(s *treeScratch) {
 	s.sorter.col, s.sorter.order = nil, nil
+	for f := range s.colref {
+		s.colref[f] = nil // drop frame-column aliases
+	}
 	treeScratchPool.Put(s)
 }
 
-// col returns the cached column of feature f.
-func (s *treeScratch) col(f int) []float64 { return s.cols[f*s.n : (f+1)*s.n] }
+// col returns the working column of feature f.
+func (s *treeScratch) col(f int) []float64 { return s.colref[f] }
 
 // ensureSorted builds the presorted index list of feature f on first use.
 // The sort is deterministic (pdqsort on a fixed input), so the presorted
@@ -127,6 +143,13 @@ func sizedBool(buf []bool, n int) []bool {
 func sizedInt(buf []int, n int) []int {
 	if cap(buf) < n {
 		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func sizedCols(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		return make([][]float64, n) //greenlint:allow rowmajor pooled column-reference table; entries alias frame columns
 	}
 	return buf[:n]
 }

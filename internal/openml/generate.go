@@ -87,7 +87,7 @@ func clampInt(v, lo, hi int) int {
 // projection of the latent point plus noise; a fraction of features carries
 // no signal; a fraction is discretized into categorical codes; a fraction
 // of labels is flipped.
-func Generate(spec Spec, profile ScaleProfile, seed uint64) *tabular.Dataset {
+func Generate(spec Spec, profile ScaleProfile, seed uint64) *tabular.Frame {
 	deriveKnobs(&spec)
 	rows, features, classes := profile.Apply(spec)
 	rng := rand.New(rand.NewPCG(uint64(spec.ID)*0x9E3779B9, seed))
@@ -145,8 +145,12 @@ func Generate(spec Spec, profile ScaleProfile, seed uint64) *tabular.Dataset {
 		}
 	}
 
-	x := make([][]float64, rows)
-	y := make([]int, rows)
+	// Rows are generated in row order (the RNG draw sequence is part of
+	// the determinism contract) but written straight into the frame's
+	// columns — no row-major intermediate.
+	f := tabular.NewFrame(spec.Name, rows, features)
+	f.Y = make([]int, rows)
+	f.Classes = classes
 	latent := make([]float64, latentDim)
 	for i := 0; i < rows; i++ {
 		k := sampleClass(priors, rng)
@@ -155,56 +159,51 @@ func Generate(spec Spec, profile ScaleProfile, seed uint64) *tabular.Dataset {
 		if i < classes {
 			k = i
 		}
-		y[i] = k
+		f.Y[i] = k
 		center := centers[k][rng.IntN(len(centers[k]))]
 		for l := range latent {
 			latent[l] = center[l] + rng.NormFloat64()
 		}
-		row := make([]float64, features)
 		for j := 0; j < informative; j++ {
 			var dot float64
 			for l := range latent {
 				dot += w[j][l] * latent[l]
 			}
-			row[j] = dot + spec.Noise*rng.NormFloat64()
+			f.Cols[j][i] = dot + spec.Noise*rng.NormFloat64()
 		}
 		for j := informative; j < features; j++ {
-			row[j] = rng.NormFloat64()
+			f.Cols[j][i] = rng.NormFloat64()
 		}
-		x[i] = row
 	}
 
 	// Label noise.
 	flips := int(float64(rows) * spec.LabelNoise)
-	for f := 0; f < flips; f++ {
-		y[rng.IntN(rows)] = rng.IntN(classes)
+	for fl := 0; fl < flips; fl++ {
+		f.Y[rng.IntN(rows)] = rng.IntN(classes)
 	}
-
-	ds := &tabular.Dataset{Name: spec.Name, X: x, Y: y, Classes: classes}
 
 	// Discretize a spread-out subset of columns into categorical codes.
 	nCat := int(math.Round(spec.CategoricalFrac * float64(features)))
 	if nCat > 0 {
-		ds.Kinds = make([]tabular.FeatureKind, features)
+		f.Kinds = make([]tabular.FeatureKind, features)
 		converted := 0
 		for j := 0; j < features && converted < nCat; j++ {
 			// Spread conversions over informative and irrelevant
 			// columns alike.
 			if (j*2654435761)%features < nCat {
 				cardinality := 2 + rng.IntN(7)
-				discretizeColumn(ds, j, cardinality)
-				ds.Kinds[j] = tabular.Categorical
+				discretizeColumn(f.Cols[j], cardinality)
+				f.Kinds[j] = tabular.Categorical
 				converted++
 			}
 		}
 	}
-	return ds
+	return f
 }
 
-// discretizeColumn replaces column j with quantile-bin codes in
-// [0, cardinality).
-func discretizeColumn(ds *tabular.Dataset, j, cardinality int) {
-	col := ds.Column(j)
+// discretizeColumn replaces the column's values with quantile-bin codes
+// in [0, cardinality), in place.
+func discretizeColumn(col []float64, cardinality int) {
 	sorted := append([]float64(nil), col...)
 	sort.Float64s(sorted)
 	thresholds := make([]float64, cardinality-1)
@@ -215,15 +214,14 @@ func discretizeColumn(ds *tabular.Dataset, j, cardinality int) {
 		}
 		thresholds[b-1] = sorted[pos]
 	}
-	for i := range ds.X {
+	for i, v := range col {
 		code := 0
-		v := ds.X[i][j]
 		for _, t := range thresholds {
 			if v > t {
 				code++
 			}
 		}
-		ds.X[i][j] = float64(code)
+		col[i] = float64(code)
 	}
 }
 
@@ -240,9 +238,9 @@ func sampleClass(priors []float64, rng *rand.Rand) int {
 }
 
 // LoadSuite generates the full 39-dataset test suite.
-func LoadSuite(profile ScaleProfile, seed uint64) []*tabular.Dataset {
+func LoadSuite(profile ScaleProfile, seed uint64) []*tabular.Frame {
 	specs := Suite()
-	out := make([]*tabular.Dataset, len(specs))
+	out := make([]*tabular.Frame, len(specs))
 	for i, s := range specs {
 		out[i] = Generate(s, profile, seed)
 	}

@@ -115,19 +115,21 @@ func TestGenerateDeterminism(t *testing.T) {
 	if a.Rows() != b.Rows() {
 		t.Fatal("row counts differ across identical generations")
 	}
-	for i := range a.X {
+	for i := range a.Y {
 		if a.Y[i] != b.Y[i] {
 			t.Fatalf("labels differ at %d", i)
 		}
-		for j := range a.X[i] {
-			if a.X[i][j] != b.X[i][j] {
+	}
+	for j := range a.Cols {
+		for i := range a.Cols[j] {
+			if a.Cols[j][i] != b.Cols[j][i] {
 				t.Fatalf("cell (%d,%d) differs", i, j)
 			}
 		}
 	}
 	c := Generate(spec, SmallScale(), 8)
 	same := true
-	for i := range a.X {
+	for i := range a.Y {
 		if a.Y[i] != c.Y[i] {
 			same = false
 			break
@@ -165,8 +167,7 @@ func TestGenerateCategoricalColumns(t *testing.T) {
 			continue
 		}
 		seen := map[float64]bool{}
-		for _, row := range ds.X {
-			v := row[j]
+		for _, v := range ds.Cols[j] {
 			if v != math.Trunc(v) || v < 0 {
 				t.Fatalf("categorical cell %v is not a non-negative integer code", v)
 			}

@@ -24,9 +24,28 @@ type Pipeline struct {
 	fitted      bool
 }
 
+// releaseUnless returns v's frame to the pool unless it is one of the
+// protected frames (the caller's input, or the frame a later stage still
+// reads). Releasing a non-pooled frame is a no-op.
+func releaseUnless(v tabular.View, protect ...*tabular.Frame) {
+	f := v.Frame()
+	if f == nil {
+		return
+	}
+	for _, p := range protect {
+		if f == p {
+			return
+		}
+	}
+	f.Release()
+}
+
 // Fit trains the preprocessors and the model on ds and returns the total
-// training cost.
-func (p *Pipeline) Fit(ds *tabular.Dataset, rng *rand.Rand) (ml.Cost, error) {
+// training cost. Intermediate transform frames are returned to the frame
+// pool as soon as the next stage has consumed them; the final transform
+// output stays alive because models may retain zero-copy aliases of its
+// columns (kNN memorizes them).
+func (p *Pipeline) Fit(ds tabular.View, rng *rand.Rand) (ml.Cost, error) {
 	if p.Model == nil {
 		return ml.Cost{}, fmt.Errorf("pipeline: nil model")
 	}
@@ -38,6 +57,7 @@ func (p *Pipeline) Fit(ds *tabular.Dataset, rng *rand.Rand) (ml.Cost, error) {
 		if err != nil {
 			return cost, fmt.Errorf("pipeline: %s: %w", t.Name(), err)
 		}
+		releaseUnless(cur, ds.Frame(), next.Frame())
 		cur = next
 	}
 	c, err := p.Model.Fit(cur, rng)
@@ -49,23 +69,27 @@ func (p *Pipeline) Fit(ds *tabular.Dataset, rng *rand.Rand) (ml.Cost, error) {
 	return cost, nil
 }
 
-// PredictProba transforms raw rows through the fitted preprocessors and
+// PredictProba transforms the view through the fitted preprocessors and
 // returns the model's probability rows plus the total inference cost.
-func (p *Pipeline) PredictProba(x [][]float64) ([][]float64, ml.Cost) {
+// Every intermediate frame — including the last transform output, which
+// prediction does not retain — goes back to the frame pool.
+func (p *Pipeline) PredictProba(x tabular.View) ([][]float64, ml.Cost) {
 	var cost ml.Cost
 	cur := x
 	for _, t := range p.Pre {
 		next, c := t.Transform(cur)
 		cost.Add(c)
+		releaseUnless(cur, x.Frame(), next.Frame())
 		cur = next
 	}
 	proba, c := p.Model.PredictProba(cur)
 	cost.Add(c)
+	releaseUnless(cur, x.Frame())
 	return proba, cost
 }
 
 // Predict returns hard labels.
-func (p *Pipeline) Predict(x [][]float64) ([]int, ml.Cost) {
+func (p *Pipeline) Predict(x tabular.View) ([]int, ml.Cost) {
 	proba, cost := p.PredictProba(x)
 	labels := make([]int, len(proba))
 	for i, row := range proba {

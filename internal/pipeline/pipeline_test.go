@@ -157,10 +157,10 @@ func TestRegistryBuildsEveryFamily(t *testing.T) {
 		if p.ModelFamily != family {
 			t.Errorf("built family %q, want %q", p.ModelFamily, family)
 		}
-		if _, err := p.Fit(train, testRNG(7)); err != nil {
+		if _, err := p.Fit(train.View(), testRNG(7)); err != nil {
 			t.Fatalf("%s: fit: %v", family, err)
 		}
-		pred, cost := p.Predict(train.X)
+		pred, cost := p.Predict(train.View())
 		if cost.Total() <= 0 {
 			t.Errorf("%s: no prediction cost", family)
 		}
@@ -266,7 +266,7 @@ func TestBuildAppliesPreprocessors(t *testing.T) {
 
 func TestPipelineNilModel(t *testing.T) {
 	p := &Pipeline{}
-	if _, err := p.Fit(blob(10, testRNG(8)), testRNG(9)); err == nil {
+	if _, err := p.Fit(blob(10, testRNG(8)).View(), testRNG(9)); err == nil {
 		t.Error("nil model accepted")
 	}
 	if p.ParallelFrac() != 0 {
@@ -313,10 +313,10 @@ func TestExtendedModelsOptIn(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", family, err)
 		}
-		if _, err := p.Fit(train, testRNG(61)); err != nil {
+		if _, err := p.Fit(train.View(), testRNG(61)); err != nil {
 			t.Fatalf("%s fit: %v", family, err)
 		}
-		pred, _ := p.Predict(train.X)
+		pred, _ := p.Predict(train.View())
 		if acc := metrics.Accuracy(train.Y, pred); acc < 0.9 {
 			t.Errorf("%s training accuracy %.3f", family, acc)
 		}

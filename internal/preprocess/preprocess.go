@@ -5,9 +5,17 @@
 // preprocessors (imputation, scaling, encoding) and feature preprocessors
 // (selection, projection). Transformers here follow the fit/transform
 // contract: FitTransform learns statistics on training data and returns the
-// transformed copy; Transform applies the learned statistics to new rows
+// transformed view; Transform applies the learned statistics to new data
 // (validation/test), never re-fitting — the split hygiene the paper's
 // systems rely on. Like the models, every operation reports its FLOP cost.
+//
+// Transforms are column-wise over the input view and write into pooled
+// output frames (tabular.NewPooledFrame), so per-call outputs recycle
+// memory instead of churning the allocator. The returned view is the
+// identity view of a frame the CALLER owns: the pipeline releases
+// intermediate frames once the next stage has consumed them (see DESIGN.md
+// "Data layout"). Identity passes its input through unchanged, so callers
+// must never release a stage output that is the stage input.
 package preprocess
 
 import (
@@ -22,19 +30,35 @@ import (
 
 // Transformer is a fitted-statistics feature transformer.
 type Transformer interface {
-	// FitTransform learns from ds and returns the transformed dataset
+	// FitTransform learns from ds and returns the transformed view
 	// (always all-numeric) plus the compute cost.
-	FitTransform(ds *tabular.Dataset, rng *rand.Rand) (*tabular.Dataset, ml.Cost, error)
-	// Transform applies learned statistics to raw rows.
-	Transform(x [][]float64) ([][]float64, ml.Cost)
+	FitTransform(ds tabular.View, rng *rand.Rand) (tabular.View, ml.Cost, error)
+	// Transform applies learned statistics to new data.
+	Transform(x tabular.View) (tabular.View, ml.Cost)
 	// Name identifies the transformer.
 	Name() string
 }
 
-// numericDataset wraps transformed rows into an all-numeric dataset sharing
-// labels with the source.
-func numericDataset(src *tabular.Dataset, x [][]float64) *tabular.Dataset {
-	return &tabular.Dataset{Name: src.Name, X: x, Y: src.Y, Classes: src.Classes}
+// outputFrame allocates a pooled all-numeric output frame shaped
+// rows(src) × features, carrying over the source's name, class count and
+// (when present) labels in view order.
+func outputFrame(src tabular.View, features int) *tabular.Frame {
+	f := tabular.NewPooledFrame(src.Name(), src.Rows(), features)
+	f.Classes = src.Classes()
+	if sf := src.Frame(); sf != nil && sf.Y != nil {
+		f.Y = src.LabelsInto(nil)
+	}
+	return f
+}
+
+// gatherCol copies feature j of x into dst in view order. Unlike ColInto,
+// the result is always dst (never an alias of the frame column), so it is
+// safe to transform in place.
+func gatherCol(x tabular.View, j int, dst []float64) {
+	col := x.ColInto(j, dst)
+	if x.Contiguous() {
+		copy(dst, col)
+	}
 }
 
 // Identity passes data through unchanged (the "no preprocessor" choice in
@@ -42,12 +66,12 @@ func numericDataset(src *tabular.Dataset, x [][]float64) *tabular.Dataset {
 type Identity struct{}
 
 // FitTransform implements Transformer.
-func (Identity) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
-	return numericDataset(ds, ds.X), ml.Cost{}, nil
+func (Identity) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
+	return ds, ml.Cost{}, nil
 }
 
 // Transform implements Transformer.
-func (Identity) Transform(x [][]float64) ([][]float64, ml.Cost) { return x, ml.Cost{} }
+func (Identity) Transform(x tabular.View) (tabular.View, ml.Cost) { return x, ml.Cost{} }
 
 // Name implements Transformer.
 func (Identity) Name() string { return "identity" }
@@ -61,14 +85,19 @@ type Imputer struct {
 }
 
 // FitTransform implements Transformer.
-func (im *Imputer) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
-	d := ds.Features()
+func (im *Imputer) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
+	n, d := ds.Rows(), ds.Features()
 	im.fill = make([]float64, d)
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
+	}
 	for j := 0; j < d; j++ {
+		col := ds.ColInto(j, colBuf)
 		var values []float64
-		for _, row := range ds.X {
-			if !math.IsNaN(row[j]) {
-				values = append(values, row[j])
+		for _, v := range col {
+			if !math.IsNaN(v) {
+				values = append(values, v)
 			}
 		}
 		if len(values) == 0 {
@@ -86,28 +115,27 @@ func (im *Imputer) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dat
 			im.fill[j] = sum / float64(len(values))
 		}
 	}
-	out, cost := im.Transform(ds.X)
-	cost.Generic += float64(ds.Rows() * d)
-	return numericDataset(ds, out), cost, nil
+	out, cost := im.Transform(ds)
+	cost.Generic += float64(n * d)
+	return out, cost, nil
 }
 
 // Transform implements Transformer.
-func (im *Imputer) Transform(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		copied := append([]float64(nil), row...)
-		for j := range copied {
-			if j < len(im.fill) && math.IsNaN(copied[j]) {
-				copied[j] = im.fill[j]
+func (im *Imputer) Transform(x tabular.View) (tabular.View, ml.Cost) {
+	n, d := x.Rows(), x.Features()
+	out := outputFrame(x, d)
+	for j := 0; j < d; j++ {
+		dst := out.Cols[j]
+		gatherCol(x, j, dst)
+		if j < len(im.fill) {
+			for i, v := range dst {
+				if math.IsNaN(v) {
+					dst[i] = im.fill[j]
+				}
 			}
 		}
-		out[i] = copied
 	}
-	var d int
-	if len(x) > 0 {
-		d = len(x[0])
-	}
-	return out, ml.Cost{Generic: float64(len(x) * d)}
+	return out.All(), ml.Cost{Generic: float64(n * d)}
 }
 
 // Name implements Transformer.
@@ -125,55 +153,52 @@ type StandardScaler struct {
 	mean, std []float64
 }
 
-// FitTransform implements Transformer.
-func (s *StandardScaler) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+// FitTransform implements Transformer. Moments accumulate column by
+// column; each column still sums its rows in ascending view order, so the
+// learned statistics match the historical row-major pass bit for bit.
+func (s *StandardScaler) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
 	n, d := ds.Rows(), ds.Features()
 	s.mean = make([]float64, d)
 	s.std = make([]float64, d)
-	for _, row := range ds.X {
-		for j, v := range row {
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
+	}
+	for j := 0; j < d; j++ {
+		col := ds.ColInto(j, colBuf)
+		for _, v := range col {
 			s.mean[j] += v
 		}
-	}
-	for j := range s.mean {
 		s.mean[j] /= float64(n)
-	}
-	for _, row := range ds.X {
-		for j, v := range row {
+		for _, v := range col {
 			diff := v - s.mean[j]
 			s.std[j] += diff * diff
 		}
-	}
-	for j := range s.std {
 		s.std[j] = math.Sqrt(s.std[j] / float64(n))
 		if s.std[j] < 1e-9 {
 			s.std[j] = 1
 		}
 	}
-	out, cost := s.Transform(ds.X)
+	out, cost := s.Transform(ds)
 	cost.Generic += float64(2 * n * d)
-	return numericDataset(ds, out), cost, nil
+	return out, cost, nil
 }
 
 // Transform implements Transformer.
-func (s *StandardScaler) Transform(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		scaled := make([]float64, len(row))
-		for j, v := range row {
-			if j < len(s.mean) {
-				scaled[j] = (v - s.mean[j]) / s.std[j]
-			} else {
-				scaled[j] = v
+func (s *StandardScaler) Transform(x tabular.View) (tabular.View, ml.Cost) {
+	n, d := x.Rows(), x.Features()
+	out := outputFrame(x, d)
+	for j := 0; j < d; j++ {
+		dst := out.Cols[j]
+		gatherCol(x, j, dst)
+		if j < len(s.mean) {
+			mean, std := s.mean[j], s.std[j]
+			for i, v := range dst {
+				dst[i] = (v - mean) / std
 			}
 		}
-		out[i] = scaled
 	}
-	var d int
-	if len(x) > 0 {
-		d = len(x[0])
-	}
-	return out, ml.Cost{Generic: float64(2 * len(x) * d)}
+	return out.All(), ml.Cost{Generic: float64(2 * n * d)}
 }
 
 // Name implements Transformer.
@@ -185,18 +210,23 @@ type MinMaxScaler struct {
 }
 
 // FitTransform implements Transformer.
-func (s *MinMaxScaler) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+func (s *MinMaxScaler) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
 	n, d := ds.Rows(), ds.Features()
 	s.min = make([]float64, d)
 	s.span = make([]float64, d)
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
+	}
 	for j := 0; j < d; j++ {
+		col := ds.ColInto(j, colBuf)
 		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, row := range ds.X {
-			if row[j] < lo {
-				lo = row[j]
+		for _, v := range col {
+			if v < lo {
+				lo = v
 			}
-			if row[j] > hi {
-				hi = row[j]
+			if v > hi {
+				hi = v
 			}
 		}
 		s.min[j] = lo
@@ -205,30 +235,26 @@ func (s *MinMaxScaler) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular
 			s.span[j] = 1
 		}
 	}
-	out, cost := s.Transform(ds.X)
+	out, cost := s.Transform(ds)
 	cost.Generic += float64(n * d)
-	return numericDataset(ds, out), cost, nil
+	return out, cost, nil
 }
 
 // Transform implements Transformer.
-func (s *MinMaxScaler) Transform(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		scaled := make([]float64, len(row))
-		for j, v := range row {
-			if j < len(s.min) {
-				scaled[j] = (v - s.min[j]) / s.span[j]
-			} else {
-				scaled[j] = v
+func (s *MinMaxScaler) Transform(x tabular.View) (tabular.View, ml.Cost) {
+	n, d := x.Rows(), x.Features()
+	out := outputFrame(x, d)
+	for j := 0; j < d; j++ {
+		dst := out.Cols[j]
+		gatherCol(x, j, dst)
+		if j < len(s.min) {
+			lo, span := s.min[j], s.span[j]
+			for i, v := range dst {
+				dst[i] = (v - lo) / span
 			}
 		}
-		out[i] = scaled
 	}
-	var d int
-	if len(x) > 0 {
-		d = len(x[0])
-	}
-	return out, ml.Cost{Generic: float64(2 * len(x) * d)}
+	return out.All(), ml.Cost{Generic: float64(2 * n * d)}
 }
 
 // Name implements Transformer.
@@ -241,15 +267,13 @@ type RobustScaler struct {
 }
 
 // FitTransform implements Transformer.
-func (s *RobustScaler) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+func (s *RobustScaler) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
 	n, d := ds.Rows(), ds.Features()
 	s.center = make([]float64, d)
 	s.scale = make([]float64, d)
 	col := make([]float64, n)
 	for j := 0; j < d; j++ {
-		for i, row := range ds.X {
-			col[i] = row[j]
-		}
+		gatherCol(ds, j, col)
 		sort.Float64s(col)
 		s.center[j] = col[n/2]
 		iqr := col[(3*n)/4] - col[n/4]
@@ -258,30 +282,26 @@ func (s *RobustScaler) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular
 		}
 		s.scale[j] = iqr
 	}
-	out, cost := s.Transform(ds.X)
+	out, cost := s.Transform(ds)
 	cost.Generic += float64(n*d) * math.Log2(float64(n)+2)
-	return numericDataset(ds, out), cost, nil
+	return out, cost, nil
 }
 
 // Transform implements Transformer.
-func (s *RobustScaler) Transform(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		scaled := make([]float64, len(row))
-		for j, v := range row {
-			if j < len(s.center) {
-				scaled[j] = (v - s.center[j]) / s.scale[j]
-			} else {
-				scaled[j] = v
+func (s *RobustScaler) Transform(x tabular.View) (tabular.View, ml.Cost) {
+	n, d := x.Rows(), x.Features()
+	out := outputFrame(x, d)
+	for j := 0; j < d; j++ {
+		dst := out.Cols[j]
+		gatherCol(x, j, dst)
+		if j < len(s.center) {
+			center, scale := s.center[j], s.scale[j]
+			for i, v := range dst {
+				dst[i] = (v - center) / scale
 			}
 		}
-		out[i] = scaled
 	}
-	var d int
-	if len(x) > 0 {
-		d = len(x[0])
-	}
-	return out, ml.Cost{Generic: float64(2 * len(x) * d)}
+	return out.All(), ml.Cost{Generic: float64(2 * n * d)}
 }
 
 // Name implements Transformer.
@@ -299,21 +319,27 @@ type OneHotEncoder struct {
 }
 
 // FitTransform implements Transformer.
-func (e *OneHotEncoder) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+func (e *OneHotEncoder) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
 	cap := e.MaxCategories
 	if cap <= 0 {
 		cap = 16
 	}
-	e.inputWidth = ds.Features()
+	n, d := ds.Rows(), ds.Features()
+	e.inputWidth = d
 	e.catCols = e.catCols[:0]
 	e.categories = e.categories[:0]
-	for j := 0; j < ds.Features(); j++ {
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
+	}
+	for j := 0; j < d; j++ {
 		if ds.Kind(j) != tabular.Categorical {
 			continue
 		}
+		col := ds.ColInto(j, colBuf)
 		seen := map[float64]bool{}
-		for _, row := range ds.X {
-			seen[row[j]] = true
+		for _, v := range col {
+			seen[v] = true
 		}
 		if len(seen) > cap {
 			continue
@@ -326,38 +352,50 @@ func (e *OneHotEncoder) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabula
 		e.catCols = append(e.catCols, j)
 		e.categories = append(e.categories, cats)
 	}
-	out, cost := e.Transform(ds.X)
-	cost.Generic += float64(ds.Rows() * ds.Features())
-	return numericDataset(ds, out), cost, nil
+	out, cost := e.Transform(ds)
+	cost.Generic += float64(n * d)
+	return out, cost, nil
 }
 
 // Transform implements Transformer.
-func (e *OneHotEncoder) Transform(x [][]float64) ([][]float64, ml.Cost) {
+func (e *OneHotEncoder) Transform(x tabular.View) (tabular.View, ml.Cost) {
 	isCat := make(map[int]int, len(e.catCols)) // column -> index into categories
 	for idx, j := range e.catCols {
 		isCat[j] = idx
 	}
-	out := make([][]float64, len(x))
+	n, d := x.Rows(), x.Features()
 	width := 0
-	for i, row := range x {
-		var expanded []float64
-		for j, v := range row {
-			if idx, ok := isCat[j]; ok && j < e.inputWidth {
-				cats := e.categories[idx]
-				indicators := make([]float64, len(cats))
+	for j := 0; j < d; j++ {
+		if idx, ok := isCat[j]; ok && j < e.inputWidth {
+			width += len(e.categories[idx])
+		} else {
+			width++
+		}
+	}
+	out := outputFrame(x, width)
+	var colBuf []float64
+	if !x.Contiguous() {
+		colBuf = make([]float64, n)
+	}
+	at := 0
+	for j := 0; j < d; j++ {
+		col := x.ColInto(j, colBuf)
+		if idx, ok := isCat[j]; ok && j < e.inputWidth {
+			cats := e.categories[idx]
+			// Indicator columns start all-zero; set the matching one.
+			for i, v := range col {
 				pos := sort.SearchFloat64s(cats, v)
 				if pos < len(cats) && cats[pos] == v {
-					indicators[pos] = 1
+					out.Cols[at+pos][i] = 1
 				}
-				expanded = append(expanded, indicators...)
-			} else {
-				expanded = append(expanded, v)
 			}
+			at += len(cats)
+		} else {
+			copy(out.Cols[at], col)
+			at++
 		}
-		out[i] = expanded
-		width = len(expanded)
 	}
-	return out, ml.Cost{Generic: float64(len(x) * (width + 4))}
+	return out.All(), ml.Cost{Generic: float64(n * (width + 4))}
 }
 
 // Name implements Transformer.
@@ -373,15 +411,20 @@ type VarianceThreshold struct {
 }
 
 // FitTransform implements Transformer.
-func (v *VarianceThreshold) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+func (v *VarianceThreshold) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
 	n, d := ds.Rows(), ds.Features()
 	v.width = d
 	v.keep = v.keep[:0]
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
+	}
 	for j := 0; j < d; j++ {
+		col := ds.ColInto(j, colBuf)
 		var sum, sumSq float64
-		for _, row := range ds.X {
-			sum += row[j]
-			sumSq += row[j] * row[j]
+		for _, val := range col {
+			sum += val
+			sumSq += val * val
 		}
 		mean := sum / float64(n)
 		variance := sumSq/float64(n) - mean*mean
@@ -393,24 +436,21 @@ func (v *VarianceThreshold) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*ta
 		// Keep at least one column so downstream models stay valid.
 		v.keep = []int{0}
 	}
-	out, cost := v.Transform(ds.X)
+	out, cost := v.Transform(ds)
 	cost.Generic += float64(2 * n * d)
-	return numericDataset(ds, out), cost, nil
+	return out, cost, nil
 }
 
 // Transform implements Transformer.
-func (v *VarianceThreshold) Transform(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		selected := make([]float64, len(v.keep))
-		for t, j := range v.keep {
-			if j < len(row) {
-				selected[t] = row[j]
-			}
+func (v *VarianceThreshold) Transform(x tabular.View) (tabular.View, ml.Cost) {
+	n, d := x.Rows(), x.Features()
+	out := outputFrame(x, len(v.keep))
+	for t, j := range v.keep {
+		if j < d {
+			gatherCol(x, j, out.Cols[t])
 		}
-		out[i] = selected
 	}
-	return out, ml.Cost{Generic: float64(len(x) * len(v.keep))}
+	return out.All(), ml.Cost{Generic: float64(n * len(v.keep))}
 }
 
 // Name implements Transformer.
@@ -425,10 +465,10 @@ type SelectKBest struct {
 }
 
 // FitTransform implements Transformer.
-func (s *SelectKBest) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+func (s *SelectKBest) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
 	n, d := ds.Rows(), ds.Features()
 	if n == 0 || d == 0 {
-		return nil, ml.Cost{}, errors.New("preprocess: select_k_best on empty data")
+		return tabular.View{}, ml.Cost{}, errors.New("preprocess: select_k_best on empty data")
 	}
 	k := s.K
 	if k <= 0 {
@@ -441,9 +481,15 @@ func (s *SelectKBest) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.
 		j     int
 		score float64
 	}
+	labels := ds.LabelsInto(nil)
+	var colBuf []float64
+	if !ds.Contiguous() {
+		colBuf = make([]float64, n)
+	}
 	scores := make([]scored, d)
 	for j := 0; j < d; j++ {
-		scores[j] = scored{j: j, score: fScore(ds, j)}
+		col := ds.ColInto(j, colBuf)
+		scores[j] = scored{j: j, score: fScore(col, labels, ds.Classes())}
 	}
 	sort.Slice(scores, func(a, b int) bool { return scores[a].score > scores[b].score })
 	s.keep = make([]int, k)
@@ -451,23 +497,21 @@ func (s *SelectKBest) FitTransform(ds *tabular.Dataset, _ *rand.Rand) (*tabular.
 		s.keep[t] = scores[t].j
 	}
 	sort.Ints(s.keep)
-	out, cost := s.Transform(ds.X)
+	out, cost := s.Transform(ds)
 	cost.Generic += float64(3*n*d) + float64(d)*math.Log2(float64(d)+2)
-	return numericDataset(ds, out), cost, nil
+	return out, cost, nil
 }
 
-// fScore computes the one-way ANOVA F statistic of column j against the
-// class labels.
-func fScore(ds *tabular.Dataset, j int) float64 {
-	n := float64(ds.Rows())
-	k := ds.Classes
+// fScore computes the one-way ANOVA F statistic of one feature column
+// against the class labels.
+func fScore(col []float64, labels []int, k int) float64 {
+	n := float64(len(col))
 	sums := make([]float64, k)
 	sumSqs := make([]float64, k)
 	counts := make([]float64, k)
 	var total float64
-	for i, row := range ds.X {
-		c := ds.Y[i]
-		v := row[j]
+	for i, v := range col {
+		c := labels[i]
 		sums[c] += v
 		sumSqs[c] += v * v
 		counts[c]++
@@ -492,18 +536,15 @@ func fScore(ds *tabular.Dataset, j int) float64 {
 }
 
 // Transform implements Transformer.
-func (s *SelectKBest) Transform(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		selected := make([]float64, len(s.keep))
-		for t, j := range s.keep {
-			if j < len(row) {
-				selected[t] = row[j]
-			}
+func (s *SelectKBest) Transform(x tabular.View) (tabular.View, ml.Cost) {
+	n, d := x.Rows(), x.Features()
+	out := outputFrame(x, len(s.keep))
+	for t, j := range s.keep {
+		if j < d {
+			gatherCol(x, j, out.Cols[t])
 		}
-		out[i] = selected
 	}
-	return out, ml.Cost{Generic: float64(len(x) * len(s.keep))}
+	return out.All(), ml.Cost{Generic: float64(n * len(s.keep))}
 }
 
 // Name implements Transformer.
@@ -518,8 +559,11 @@ type PCA struct {
 	mean       []float64
 }
 
-// FitTransform implements Transformer.
-func (p *PCA) FitTransform(ds *tabular.Dataset, rng *rand.Rand) (*tabular.Dataset, ml.Cost, error) {
+// FitTransform implements Transformer. The covariance accumulates column
+// pair by column pair, each cell summing rows in ascending view order, so
+// the learned components — and the RNG draws seeding the power iteration —
+// match the historical row-major pass exactly.
+func (p *PCA) FitTransform(ds tabular.View, rng *rand.Rand) (tabular.View, ml.Cost, error) {
 	n, d := ds.Rows(), ds.Features()
 	k := p.K
 	if k <= 0 {
@@ -528,13 +572,25 @@ func (p *PCA) FitTransform(ds *tabular.Dataset, rng *rand.Rand) (*tabular.Datase
 	if k > d {
 		k = d
 	}
+	// Resolve working columns once: frame aliases for identity views,
+	// one arena gather for subset views.
+	cols := make([][]float64, d)
+	var arena []float64
+	if !ds.Contiguous() {
+		arena = make([]float64, n*d)
+	}
+	for j := 0; j < d; j++ {
+		var dst []float64
+		if arena != nil {
+			dst = arena[j*n : (j+1)*n : (j+1)*n]
+		}
+		cols[j] = ds.ColInto(j, dst)
+	}
 	p.mean = make([]float64, d)
-	for _, row := range ds.X {
-		for j, v := range row {
+	for j := 0; j < d; j++ {
+		for _, v := range cols[j] {
 			p.mean[j] += v
 		}
-	}
-	for j := range p.mean {
 		p.mean[j] /= float64(n)
 	}
 	// Covariance matrix.
@@ -542,12 +598,15 @@ func (p *PCA) FitTransform(ds *tabular.Dataset, rng *rand.Rand) (*tabular.Datase
 	for a := range cov {
 		cov[a] = make([]float64, d)
 	}
-	for _, row := range ds.X {
-		for a := 0; a < d; a++ {
-			da := row[a] - p.mean[a]
-			for b := a; b < d; b++ {
-				cov[a][b] += da * (row[b] - p.mean[b])
+	for a := 0; a < d; a++ {
+		colA, meanA := cols[a], p.mean[a]
+		for b := a; b < d; b++ {
+			colB, meanB := cols[b], p.mean[b]
+			var sum float64
+			for i := 0; i < n; i++ {
+				sum += (colA[i] - meanA) * (colB[i] - meanB)
 			}
+			cov[a][b] = sum
 		}
 	}
 	for a := 0; a < d; a++ {
@@ -590,9 +649,9 @@ func (p *PCA) FitTransform(ds *tabular.Dataset, rng *rand.Rand) (*tabular.Datase
 		}
 		p.components = append(p.components, vec)
 	}
-	out, cost := p.Transform(ds.X)
+	out, cost := p.Transform(ds)
 	cost.Matrix += float64(n*d*d) + float64(k*iters*d*d)
-	return numericDataset(ds, out), cost, nil
+	return out, cost, nil
 }
 
 func vecNorm(v []float64) float64 {
@@ -615,27 +674,31 @@ func rayleigh(m [][]float64, v []float64) float64 {
 	return num
 }
 
-// Transform implements Transformer.
-func (p *PCA) Transform(x [][]float64) ([][]float64, ml.Cost) {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		proj := make([]float64, len(p.components))
-		for c, comp := range p.components {
-			var dot float64
-			for j, v := range row {
-				if j < len(comp) {
-					dot += (v - p.mean[j]) * comp[j]
-				}
-			}
-			proj[c] = dot
+// Transform implements Transformer. Projections accumulate feature by
+// feature into the output columns; each output cell still sums features in
+// ascending order, bit-identical to the historical per-row dot products.
+func (p *PCA) Transform(x tabular.View) (tabular.View, ml.Cost) {
+	n, d := x.Rows(), x.Features()
+	out := outputFrame(x, len(p.components))
+	var colBuf []float64
+	if !x.Contiguous() {
+		colBuf = make([]float64, n)
+	}
+	for j := 0; j < d; j++ {
+		if j >= len(p.mean) {
+			break
 		}
-		out[i] = proj
+		col := x.ColInto(j, colBuf)
+		mj := p.mean[j]
+		for c, comp := range p.components {
+			dst := out.Cols[c]
+			coeff := comp[j]
+			for i, v := range col {
+				dst[i] += (v - mj) * coeff
+			}
+		}
 	}
-	var d int
-	if len(x) > 0 {
-		d = len(x[0])
-	}
-	return out, ml.Cost{Matrix: float64(2 * len(x) * len(p.components) * d)}
+	return out.All(), ml.Cost{Matrix: float64(2 * n * len(p.components) * d)}
 }
 
 // Name implements Transformer.

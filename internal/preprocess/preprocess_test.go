@@ -44,29 +44,31 @@ func allTransformers() map[string]Transformer {
 func TestFitTransformMatchesTransform(t *testing.T) {
 	for name, tr := range allTransformers() {
 		ds := sample()
-		out, cost, err := tr.FitTransform(ds, testRNG(1))
+		out, cost, err := tr.FitTransform(ds.View(), testRNG(1))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if name != "identity" && cost.Total() <= 0 {
 			t.Errorf("%s: no cost reported", name)
 		}
-		again, _ := tr.Transform(ds.X)
-		if len(again) != len(out.X) {
+		outRows := out.MaterializeRows()
+		again, _ := tr.Transform(ds.View())
+		againRows := again.MaterializeRows()
+		if len(againRows) != len(outRows) {
 			t.Fatalf("%s: row count changed", name)
 		}
-		for i := range again {
-			if len(again[i]) != len(out.X[i]) {
-				t.Fatalf("%s: width changed: %d vs %d", name, len(again[i]), len(out.X[i]))
+		for i := range againRows {
+			if len(againRows[i]) != len(outRows[i]) {
+				t.Fatalf("%s: width changed: %d vs %d", name, len(againRows[i]), len(outRows[i]))
 			}
-			for j := range again[i] {
-				if math.Abs(again[i][j]-out.X[i][j]) > 1e-9 {
-					t.Fatalf("%s: cell (%d,%d) differs: %v vs %v", name, i, j, again[i][j], out.X[i][j])
+			for j := range againRows[i] {
+				if math.Abs(againRows[i][j]-outRows[i][j]) > 1e-9 {
+					t.Fatalf("%s: cell (%d,%d) differs: %v vs %v", name, i, j, againRows[i][j], outRows[i][j])
 				}
 			}
 		}
 		// Labels and classes pass through.
-		if out.Classes != ds.Classes || len(out.Y) != len(ds.Y) {
+		if out.Classes() != ds.Classes || len(out.LabelsInto(nil)) != len(ds.Y) {
 			t.Errorf("%s: labels altered", name)
 		}
 	}
@@ -76,25 +78,25 @@ func TestImputerFillsNaN(t *testing.T) {
 	ds := sample()
 	ds.X[1][0] = math.NaN()
 	im := &Imputer{}
-	out, _, err := im.FitTransform(ds, testRNG(2))
+	out, _, err := im.FitTransform(ds.View(), testRNG(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Mean of {1,3,4} = 8/3.
-	if math.Abs(out.X[1][0]-8.0/3) > 1e-9 {
-		t.Errorf("mean imputation %v, want %v", out.X[1][0], 8.0/3)
+	if math.Abs(out.At(1, 0)-8.0/3) > 1e-9 {
+		t.Errorf("mean imputation %v, want %v", out.At(1, 0), 8.0/3)
 	}
 	med := &Imputer{Median: true}
 	ds2 := sample()
 	ds2.X[0][1] = math.NaN()
-	out2, _, _ := med.FitTransform(ds2, testRNG(3))
+	out2, _, _ := med.FitTransform(ds2.View(), testRNG(3))
 	// Median of {20,30,40} = 30.
-	if out2.X[0][1] != 30 {
-		t.Errorf("median imputation %v, want 30", out2.X[0][1])
+	if out2.At(0, 1) != 30 {
+		t.Errorf("median imputation %v, want 30", out2.At(0, 1))
 	}
 	// New rows with NaN are filled at Transform time too.
-	filled, _ := im.Transform([][]float64{{math.NaN(), 5, 1}})
-	if math.IsNaN(filled[0][0]) {
+	filled, _ := im.Transform(tabular.FromRows([][]float64{{math.NaN(), 5, 1}}))
+	if math.IsNaN(filled.At(0, 0)) {
 		t.Error("Transform left NaN behind")
 	}
 }
@@ -102,20 +104,21 @@ func TestImputerFillsNaN(t *testing.T) {
 func TestStandardScalerStats(t *testing.T) {
 	ds := sample()
 	s := &StandardScaler{}
-	out, _, err := s.FitTransform(ds, testRNG(4))
+	out, _, err := s.FitTransform(ds.View(), testRNG(4))
 	if err != nil {
 		t.Fatal(err)
 	}
+	n := out.Rows()
 	for j := 0; j < 2; j++ {
 		var mean, sq float64
-		for _, row := range out.X {
-			mean += row[j]
+		for i := 0; i < n; i++ {
+			mean += out.At(i, j)
 		}
-		mean /= float64(len(out.X))
-		for _, row := range out.X {
-			sq += (row[j] - mean) * (row[j] - mean)
+		mean /= float64(n)
+		for i := 0; i < n; i++ {
+			sq += (out.At(i, j) - mean) * (out.At(i, j) - mean)
 		}
-		std := math.Sqrt(sq / float64(len(out.X)))
+		std := math.Sqrt(sq / float64(n))
 		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
 			t.Errorf("column %d standardized to mean %v std %v", j, mean, std)
 		}
@@ -125,22 +128,22 @@ func TestStandardScalerStats(t *testing.T) {
 func TestMinMaxScalerRange(t *testing.T) {
 	ds := sample()
 	s := &MinMaxScaler{}
-	out, _, err := s.FitTransform(ds, testRNG(5))
+	out, _, err := s.FitTransform(ds.View(), testRNG(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, row := range out.X {
-		for j, v := range row {
-			if v < 0 || v > 1 {
+	for i := 0; i < out.Rows(); i++ {
+		for j := 0; j < out.Features(); j++ {
+			if v := out.At(i, j); v < 0 || v > 1 {
 				t.Errorf("column %d value %v outside [0,1]", j, v)
 			}
 		}
 	}
 	// Constant columns survive (span guards against /0).
 	flat := &tabular.Dataset{X: [][]float64{{5}, {5}}, Y: []int{0, 1}, Classes: 2}
-	out2, _, err := (&MinMaxScaler{}).FitTransform(flat, testRNG(6))
-	if err != nil || math.IsNaN(out2.X[0][0]) {
-		t.Errorf("constant column broke min-max: %v %v", out2.X, err)
+	out2, _, err := (&MinMaxScaler{}).FitTransform(flat.View(), testRNG(6))
+	if err != nil || math.IsNaN(out2.At(0, 0)) {
+		t.Errorf("constant column broke min-max: %v %v", out2.At(0, 0), err)
 	}
 }
 
@@ -151,15 +154,15 @@ func TestRobustScalerIgnoresOutliers(t *testing.T) {
 		Classes: 2,
 	}
 	r := &RobustScaler{}
-	out, _, err := r.FitTransform(ds, testRNG(7))
+	out, _, err := r.FitTransform(ds.View(), testRNG(7))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The non-outlier points must stay within a few units of zero
 	// (median 3, IQR 3): a standard scaler would compress them to ~0.
 	for i := 0; i < 4; i++ {
-		if math.Abs(out.X[i][0]) > 2 {
-			t.Errorf("robust-scaled inlier %v too extreme", out.X[i][0])
+		if math.Abs(out.At(i, 0)) > 2 {
+			t.Errorf("robust-scaled inlier %v too extreme", out.At(i, 0))
 		}
 	}
 }
@@ -177,7 +180,7 @@ func TestOneHotEncoder(t *testing.T) {
 		Kinds:   []tabular.FeatureKind{tabular.Categorical, tabular.Numeric},
 	}
 	e := &OneHotEncoder{}
-	out, _, err := e.FitTransform(ds, testRNG(8))
+	out, _, err := e.FitTransform(ds.View(), testRNG(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,16 +189,16 @@ func TestOneHotEncoder(t *testing.T) {
 		t.Fatalf("one-hot width %d, want 4", got)
 	}
 	// Row 0 has category 0 -> indicator [1,0,0].
-	if out.X[0][0] != 1 || out.X[0][1] != 0 || out.X[0][2] != 0 {
-		t.Errorf("row 0 indicators %v", out.X[0][:3])
+	if out.At(0, 0) != 1 || out.At(0, 1) != 0 || out.At(0, 2) != 0 {
+		t.Errorf("row 0 indicators [%v %v %v]", out.At(0, 0), out.At(0, 1), out.At(0, 2))
 	}
-	if out.X[0][3] != 1.5 {
-		t.Errorf("numeric column displaced: %v", out.X[0])
+	if out.At(0, 3) != 1.5 {
+		t.Errorf("numeric column displaced: %v", out.At(0, 3))
 	}
 	// An unseen category maps to all-zero indicators.
-	unseen, _ := e.Transform([][]float64{{9, 7.5}})
-	if unseen[0][0] != 0 || unseen[0][1] != 0 || unseen[0][2] != 0 {
-		t.Errorf("unseen category indicators %v", unseen[0][:3])
+	unseen, _ := e.Transform(tabular.FromRows([][]float64{{9, 7.5}}))
+	if unseen.At(0, 0) != 0 || unseen.At(0, 1) != 0 || unseen.At(0, 2) != 0 {
+		t.Errorf("unseen category indicators [%v %v %v]", unseen.At(0, 0), unseen.At(0, 1), unseen.At(0, 2))
 	}
 	// High-cardinality columns pass through untouched.
 	wide := &tabular.Dataset{Classes: 2, Kinds: []tabular.FeatureKind{tabular.Categorical}}
@@ -204,7 +207,7 @@ func TestOneHotEncoder(t *testing.T) {
 		wide.Y = append(wide.Y, i%2)
 	}
 	e2 := &OneHotEncoder{MaxCategories: 8}
-	out2, _, err := e2.FitTransform(wide, testRNG(9))
+	out2, _, err := e2.FitTransform(wide.View(), testRNG(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +227,7 @@ func TestVarianceThresholdDropsConstants(t *testing.T) {
 		Classes: 2,
 	}
 	v := &VarianceThreshold{Threshold: 0.001}
-	out, _, err := v.FitTransform(ds, testRNG(10))
+	out, _, err := v.FitTransform(ds.View(), testRNG(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +236,7 @@ func TestVarianceThresholdDropsConstants(t *testing.T) {
 	}
 	// All-constant input keeps one column rather than none.
 	flat := &tabular.Dataset{X: [][]float64{{1, 1}, {1, 1}}, Y: []int{0, 1}, Classes: 2}
-	out2, _, _ := (&VarianceThreshold{Threshold: 0.5}).FitTransform(flat, testRNG(11))
+	out2, _, _ := (&VarianceThreshold{Threshold: 0.5}).FitTransform(flat.View(), testRNG(11))
 	if out2.Features() != 1 {
 		t.Errorf("all-constant input kept %d columns, want 1", out2.Features())
 	}
@@ -249,7 +252,7 @@ func TestSelectKBestKeepsInformativeColumns(t *testing.T) {
 		ds.Y = append(ds.Y, c)
 	}
 	s := &SelectKBest{K: 1}
-	out, _, err := s.FitTransform(ds, rng)
+	out, _, err := s.FitTransform(ds.View(), rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,12 +263,12 @@ func TestSelectKBestKeepsInformativeColumns(t *testing.T) {
 	// must differ strongly.
 	var mean0, mean1 float64
 	var n0, n1 int
-	for i, row := range out.X {
+	for i := 0; i < out.Rows(); i++ {
 		if ds.Y[i] == 0 {
-			mean0 += row[0]
+			mean0 += out.At(i, 0)
 			n0++
 		} else {
-			mean1 += row[0]
+			mean1 += out.At(i, 0)
 			n1++
 		}
 	}
@@ -284,7 +287,7 @@ func TestPCADimensionAndVariance(t *testing.T) {
 		ds.Y = append(ds.Y, i%2)
 	}
 	p := &PCA{K: 2}
-	out, _, err := p.FitTransform(ds, rng)
+	out, _, err := p.FitTransform(ds.View(), rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,16 +297,16 @@ func TestPCADimensionAndVariance(t *testing.T) {
 	// The first component must capture far more variance than the
 	// second.
 	var v0, v1 float64
-	for _, row := range out.X {
-		v0 += row[0] * row[0]
-		v1 += row[1] * row[1]
+	for i := 0; i < out.Rows(); i++ {
+		v0 += out.At(i, 0) * out.At(i, 0)
+		v1 += out.At(i, 1) * out.At(i, 1)
 	}
 	if v0 < 10*v1 {
 		t.Errorf("PCA components not variance-ordered: %v vs %v", v0, v1)
 	}
 	// K clamps to the width.
 	p2 := &PCA{K: 99}
-	out2, _, _ := p2.FitTransform(ds, rng)
+	out2, _, _ := p2.FitTransform(ds.View(), rng)
 	if out2.Features() != 3 {
 		t.Errorf("PCA K clamp: got %d components", out2.Features())
 	}
@@ -311,7 +314,7 @@ func TestPCADimensionAndVariance(t *testing.T) {
 
 func TestSelectKBestEmptyData(t *testing.T) {
 	s := &SelectKBest{K: 1}
-	if _, _, err := s.FitTransform(&tabular.Dataset{Classes: 2}, testRNG(14)); err == nil {
+	if _, _, err := s.FitTransform((&tabular.Dataset{Classes: 2}).View(), testRNG(14)); err == nil {
 		t.Error("empty dataset accepted")
 	}
 }

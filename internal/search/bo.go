@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ml"
 	"repro/internal/pipeline"
+	"repro/internal/tabular"
 )
 
 // Observation is one evaluated configuration with its score (higher is
@@ -87,7 +88,7 @@ func (b *BO) Suggest() (pipeline.Config, ml.Cost) {
 		Bootstrap: true,
 		Tree:      ml.TreeParams{MaxDepth: 12, MinSamplesLeaf: 1, MaxFeatures: 0.8},
 	})
-	cost, err := surrogate.FitReg(xs, ys, b.rng)
+	cost, err := surrogate.FitReg(tabular.FromRows(xs), ys, b.rng)
 	if err != nil {
 		return b.Space.Sample(b.rng), cost
 	}
@@ -110,7 +111,7 @@ func (b *BO) Suggest() (pipeline.Config, ml.Cost) {
 	for i, c := range candidates {
 		vecs[i] = b.Space.Vector(c)
 	}
-	mean, std, predCost := surrogate.PredictWithStd(vecs)
+	mean, std, predCost := surrogate.PredictWithStd(tabular.FromRows(vecs))
 	cost.Add(predCost)
 
 	bestEI := math.Inf(-1)

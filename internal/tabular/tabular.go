@@ -3,19 +3,24 @@
 //
 // The paper's scope is supervised classification on tabular data with
 // numeric and categorical attributes — "the most studied data modality by
-// AutoML systems". A Dataset holds a dense row-major feature matrix, a
-// per-feature kind (numeric or categorical, where categorical cells store
-// integer codes), and integer class labels. The package supplies the split
-// and resampling machinery the AutoML systems need: stratified train/test
-// splits, hold-out validation splits, k-fold cross-validation, and
-// stratified subsampling.
+// AutoML systems". The working representation is the columnar Frame (one
+// contiguous []float64 per feature, plus per-feature kinds and integer
+// class labels) subset through zero-copy Views; see frame.go. The package
+// supplies the split and resampling machinery the AutoML systems need —
+// stratified train/test splits, hold-out validation splits, k-fold
+// cross-validation, stratified subsampling — all as index permutations
+// over a shared Frame rather than matrix copies.
+//
+// Dataset is the thin row-major adapter kept for CSV loading and external
+// callers that naturally produce rows; Frame()/View() convert once into
+// the columnar representation everything downstream consumes.
 package tabular
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand/v2"
+	"sync"
 )
 
 // FeatureKind distinguishes numeric from categorical attributes.
@@ -37,7 +42,11 @@ func (k FeatureKind) String() string {
 	return "numeric"
 }
 
-// Dataset is a supervised classification dataset.
+// Dataset is the row-major adapter for supervised classification data:
+// the ingestion format of the CSV loader and external examples. Internal
+// consumers work on the columnar Frame obtained via Frame()/View();
+// conversion transposes once and is cached, so the adapter must not be
+// mutated after the first conversion.
 type Dataset struct {
 	// Name identifies the dataset (e.g. the OpenML task name).
 	Name string
@@ -50,6 +59,9 @@ type Dataset struct {
 	Kinds []FeatureKind
 	// Classes is the number of distinct class labels.
 	Classes int
+
+	frameOnce sync.Once
+	frame     *Frame
 }
 
 // Rows reports the number of instances.
@@ -114,23 +126,27 @@ func (d *Dataset) Validate() error {
 	return nil
 }
 
-// Select returns a new dataset containing the rows at the given indices.
-// The feature rows are shared, not copied; callers that mutate cells must
-// CloneDeep first.
-func (d *Dataset) Select(idx []int) *Dataset {
-	out := &Dataset{
-		Name:    d.Name,
-		X:       make([][]float64, len(idx)),
-		Y:       make([]int, len(idx)),
-		Kinds:   d.Kinds,
-		Classes: d.Classes,
-	}
-	for i, r := range idx {
-		out.X[i] = d.X[r]
-		out.Y[i] = d.Y[r]
-	}
-	return out
+// Frame converts the adapter into columnar storage. The transpose
+// happens once per dataset (guarded for concurrent callers); subsequent
+// calls return the cached frame.
+func (d *Dataset) Frame() *Frame {
+	d.frameOnce.Do(func() {
+		f := NewFrame(d.Name, d.Rows(), d.Features())
+		f.Y = d.Y
+		f.Kinds = d.Kinds
+		f.Classes = d.Classes
+		for i, row := range d.X {
+			for j, v := range row {
+				f.Cols[j][i] = v
+			}
+		}
+		d.frame = f
+	})
+	return d.frame
 }
+
+// View returns the identity view of the dataset's columnar frame.
+func (d *Dataset) View() View { return d.Frame().All() }
 
 // CloneDeep returns a dataset with fully copied feature rows and labels.
 func (d *Dataset) CloneDeep() *Dataset {
@@ -160,160 +176,27 @@ func (d *Dataset) ClassCounts() []int {
 	return counts
 }
 
-// StratifiedSplit partitions the dataset into two parts where the first
-// receives approximately `frac` of each class. The split is deterministic
-// given the rng. Each class contributes at least one instance to each side
-// when it has at least two instances.
-func (d *Dataset) StratifiedSplit(frac float64, rng *rand.Rand) (first, second *Dataset) {
-	if frac < 0 {
-		frac = 0
-	}
-	if frac > 1 {
-		frac = 1
-	}
-	byClass := make([][]int, d.Classes)
-	for i, y := range d.Y {
-		byClass[y] = append(byClass[y], i)
-	}
-	var firstIdx, secondIdx []int
-	for _, members := range byClass {
-		if len(members) == 0 {
-			continue
-		}
-		perm := rng.Perm(len(members))
-		n := int(math.Round(frac * float64(len(members))))
-		if len(members) >= 2 {
-			if n == 0 {
-				n = 1
-			}
-			if n == len(members) {
-				n = len(members) - 1
-			}
-		}
-		for i, p := range perm {
-			if i < n {
-				firstIdx = append(firstIdx, members[p])
-			} else {
-				secondIdx = append(secondIdx, members[p])
-			}
-		}
-	}
-	shuffleInts(firstIdx, rng)
-	shuffleInts(secondIdx, rng)
-	return d.Select(firstIdx), d.Select(secondIdx)
-}
-
-// TrainTestSplit applies the paper's 66/34 split (§3.1).
-func (d *Dataset) TrainTestSplit(rng *rand.Rand) (train, test *Dataset) {
-	return d.StratifiedSplit(0.66, rng)
-}
-
-// Subsample returns a stratified sample of up to n rows. If n >= Rows the
-// dataset itself is returned.
-func (d *Dataset) Subsample(n int, rng *rand.Rand) *Dataset {
-	if n >= d.Rows() {
-		return d
-	}
-	if n < d.Classes {
-		n = d.Classes
-	}
-	frac := float64(n) / float64(d.Rows())
-	sample, _ := d.StratifiedSplit(frac, rng)
-	return sample
-}
-
-// SubsamplePerClass returns a stratified sample with up to perClass rows of
-// each class, preserving at least one row per present class.
-func (d *Dataset) SubsamplePerClass(perClass int, rng *rand.Rand) *Dataset {
-	if perClass < 1 {
-		perClass = 1
-	}
-	byClass := make([][]int, d.Classes)
-	for i, y := range d.Y {
-		byClass[y] = append(byClass[y], i)
-	}
-	var idx []int
-	for _, members := range byClass {
-		if len(members) == 0 {
-			continue
-		}
-		perm := rng.Perm(len(members))
-		n := perClass
-		if n > len(members) {
-			n = len(members)
-		}
-		for _, p := range perm[:n] {
-			idx = append(idx, members[p])
-		}
-	}
-	shuffleInts(idx, rng)
-	return d.Select(idx)
+// TrainTestSplit applies the paper's 66/34 split (§3.1) as zero-copy
+// views of the dataset's frame.
+func (d *Dataset) TrainTestSplit(rng *rand.Rand) (train, test View) {
+	return d.View().TrainTestSplit(rng)
 }
 
 // KFoldIndices returns k stratified folds as row-index slices. k is
 // clamped to [2, Rows].
 func (d *Dataset) KFoldIndices(k int, rng *rand.Rand) [][]int {
-	if k < 2 {
-		k = 2
-	}
-	if k > d.Rows() {
-		k = d.Rows()
-	}
-	folds := make([][]int, k)
-	byClass := make([][]int, d.Classes)
-	for i, y := range d.Y {
-		byClass[y] = append(byClass[y], i)
-	}
-	next := 0
-	for _, members := range byClass {
-		perm := rng.Perm(len(members))
-		for _, p := range perm {
-			folds[next%k] = append(folds[next%k], members[p])
-			next++
-		}
-	}
-	return folds
+	return d.View().KFoldIndices(k, rng)
 }
 
-// KFold returns k stratified (train, validation) splits for cross-validation
-// (used by TPOT, paper §3.2 footnote 1). k is clamped to [2, Rows].
-func (d *Dataset) KFold(k int, rng *rand.Rand) (trains, vals []*Dataset) {
-	folds := d.KFoldIndices(k, rng)
-	k = len(folds)
-	trains = make([]*Dataset, k)
-	vals = make([]*Dataset, k)
-	for f := 0; f < k; f++ {
-		var trainIdx []int
-		for g := 0; g < k; g++ {
-			if g != f {
-				trainIdx = append(trainIdx, folds[g]...)
-			}
-		}
-		shuffleInts(trainIdx, rng)
-		trains[f] = d.Select(trainIdx)
-		vals[f] = d.Select(folds[f])
-	}
-	return trains, vals
+// KFold returns k stratified (train, validation) views for
+// cross-validation. Folds are index permutations over the dataset's
+// frame — no feature matrix is copied.
+func (d *Dataset) KFold(k int, rng *rand.Rand) (trains, vals []View) {
+	return d.View().KFold(k, rng)
 }
 
-// Bootstrap returns a dataset of Rows() instances sampled with replacement,
-// as used by bagging.
-func (d *Dataset) Bootstrap(rng *rand.Rand) *Dataset {
-	idx := make([]int, d.Rows())
-	for i := range idx {
-		idx[i] = rng.IntN(d.Rows())
-	}
-	return d.Select(idx)
-}
-
-// Column copies feature column j into a new slice.
-func (d *Dataset) Column(j int) []float64 {
-	col := make([]float64, d.Rows())
-	for i, row := range d.X {
-		col[i] = row[j]
-	}
-	return col
-}
+// Meta computes the dataset's meta-features.
+func (d *Dataset) Meta() MetaFeatures { return d.View().Meta() }
 
 func shuffleInts(s []int, rng *rand.Rand) {
 	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
@@ -333,53 +216,6 @@ type MetaFeatures struct {
 	MeanAbsSkew     float64 // mean |skewness| over numeric columns
 }
 
-// Meta computes the dataset's meta-features.
-func (d *Dataset) Meta() MetaFeatures {
-	m := MetaFeatures{
-		LogRows:     math.Log(float64(max(d.Rows(), 1))),
-		LogFeatures: math.Log(float64(max(d.Features(), 1))),
-		LogClasses:  math.Log(float64(max(d.Classes, 2))),
-	}
-	counts := d.ClassCounts()
-	total := float64(d.Rows())
-	minority := math.Inf(1)
-	entropy := 0.0
-	present := 0
-	for _, c := range counts {
-		if c == 0 {
-			continue
-		}
-		present++
-		p := float64(c) / total
-		entropy -= p * math.Log(p)
-		if float64(c) < minority {
-			minority = float64(c)
-		}
-	}
-	if present > 1 {
-		m.ClassEntropy = entropy / math.Log(float64(present))
-	}
-	if total > 0 && !math.IsInf(minority, 1) {
-		m.MinorityFrac = minority / total
-	}
-	if d.Features() > 0 {
-		m.CategoricalFrac = float64(d.NumCategorical()) / float64(d.Features())
-	}
-	numNumeric := 0
-	skewSum := 0.0
-	for j := 0; j < d.Features(); j++ {
-		if d.Kind(j) != Numeric {
-			continue
-		}
-		numNumeric++
-		skewSum += math.Abs(columnSkew(d, j))
-	}
-	if numNumeric > 0 {
-		m.MeanAbsSkew = skewSum / float64(numNumeric)
-	}
-	return m
-}
-
 // Vector returns the meta-features as a fixed-order float vector for
 // clustering and nearest-neighbour lookup.
 func (m MetaFeatures) Vector() []float64 {
@@ -387,28 +223,4 @@ func (m MetaFeatures) Vector() []float64 {
 		m.LogRows, m.LogFeatures, m.LogClasses,
 		m.ClassEntropy, m.MinorityFrac, m.CategoricalFrac, m.MeanAbsSkew,
 	}
-}
-
-func columnSkew(d *Dataset, j int) float64 {
-	n := float64(d.Rows())
-	if n < 3 {
-		return 0
-	}
-	var mean float64
-	for _, row := range d.X {
-		mean += row[j]
-	}
-	mean /= n
-	var m2, m3 float64
-	for _, row := range d.X {
-		diff := row[j] - mean
-		m2 += diff * diff
-		m3 += diff * diff * diff
-	}
-	m2 /= n
-	m3 /= n
-	if m2 < 1e-12 {
-		return 0
-	}
-	return m3 / math.Pow(m2, 1.5)
 }

@@ -77,7 +77,7 @@ func TestAccessors(t *testing.T) {
 	if counts[0] != 3 || counts[1] != 3 {
 		t.Errorf("class counts %v", counts)
 	}
-	col := d.Column(1)
+	col := d.View().Col(1)
 	if len(col) != 6 || col[0] != d.X[0][1] {
 		t.Error("column extraction broken")
 	}
@@ -88,7 +88,7 @@ func TestAccessors(t *testing.T) {
 
 func TestStratifiedSplit(t *testing.T) {
 	d := blob(3, 30, 2)
-	first, second := d.StratifiedSplit(0.4, testRNG(1))
+	first, second := d.View().StratifiedSplit(0.4, testRNG(1))
 	if first.Rows()+second.Rows() != d.Rows() {
 		t.Fatalf("split lost rows: %d + %d != %d", first.Rows(), second.Rows(), d.Rows())
 	}
@@ -99,7 +99,7 @@ func TestStratifiedSplit(t *testing.T) {
 	}
 	// Each class must be present on both sides even at extreme
 	// fractions.
-	tiny, rest := d.StratifiedSplit(0.001, testRNG(2))
+	tiny, rest := d.View().StratifiedSplit(0.001, testRNG(2))
 	for c, n := range tiny.ClassCounts() {
 		if n == 0 {
 			t.Errorf("class %d missing from tiny side", c)
@@ -111,7 +111,7 @@ func TestStratifiedSplit(t *testing.T) {
 		}
 	}
 	// Fractions clamp.
-	a, b := d.StratifiedSplit(-1, testRNG(3))
+	a, b := d.View().StratifiedSplit(-1, testRNG(3))
 	if a.Rows() != 3 || b.Rows() != d.Rows()-3 {
 		// One per class stays on the first side.
 		t.Errorf("clamped split sizes: %d/%d", a.Rows(), b.Rows())
@@ -128,12 +128,12 @@ func TestTrainTestSplitIs66_34(t *testing.T) {
 
 func TestSubsample(t *testing.T) {
 	d := blob(2, 100, 2)
-	s := d.Subsample(40, testRNG(5))
+	s := d.View().Subsample(40, testRNG(5))
 	if math.Abs(float64(s.Rows())-40) > 2 {
 		t.Errorf("subsample size %d, want ~40", s.Rows())
 	}
-	if got := d.Subsample(1000, testRNG(6)); got != d {
-		t.Error("oversized subsample should return the dataset itself")
+	if got := d.View().Subsample(1000, testRNG(6)); got.Rows() != d.Rows() || !got.Contiguous() {
+		t.Error("oversized subsample should return the identity view unchanged")
 	}
 	counts := s.ClassCounts()
 	if counts[0] == 0 || counts[1] == 0 {
@@ -143,18 +143,18 @@ func TestSubsample(t *testing.T) {
 
 func TestSubsamplePerClass(t *testing.T) {
 	d := blob(3, 50, 2)
-	s := d.SubsamplePerClass(7, testRNG(7))
+	s := d.View().SubsamplePerClass(7, testRNG(7))
 	for c, n := range s.ClassCounts() {
 		if n != 7 {
 			t.Errorf("class %d has %d rows, want 7", c, n)
 		}
 	}
 	// Requesting more than available caps at the class size.
-	s2 := d.SubsamplePerClass(500, testRNG(8))
+	s2 := d.View().SubsamplePerClass(500, testRNG(8))
 	if s2.Rows() != d.Rows() {
 		t.Errorf("oversized per-class sample has %d rows, want %d", s2.Rows(), d.Rows())
 	}
-	s3 := d.SubsamplePerClass(0, testRNG(9))
+	s3 := d.View().SubsamplePerClass(0, testRNG(9))
 	if s3.Rows() != 3 {
 		t.Errorf("zero per-class clamps to 1: got %d rows", s3.Rows())
 	}
@@ -207,9 +207,36 @@ func TestKFoldIndicesCoverEachRowOnce(t *testing.T) {
 	}
 }
 
+// foldSink keeps KFold results reachable inside AllocsPerRun.
+var foldSink []View
+
+// TestKFoldAllocsNotPerRow pins the zero-copy contract of fold
+// construction: folds are pure index permutations, so the allocation
+// count may grow with slice doublings (logarithmic) but never per row.
+// A row-copying implementation would allocate at least one slice per
+// row and fail the per-row bound immediately.
+func TestKFoldAllocsNotPerRow(t *testing.T) {
+	count := func(perClass int) float64 {
+		d := blob(2, perClass, 4)
+		v := d.View() // warm the adapter's cached frame outside the measurement
+		rng := testRNG(42)
+		return testing.AllocsPerRun(20, func() {
+			trains, vals := v.KFold(5, rng)
+			foldSink = trains
+			foldSink = vals
+		})
+	}
+	small, big := count(100), count(1600) // 200 vs 3200 rows
+	perRow := (big - small) / (3200 - 200)
+	if perRow > 0.05 {
+		t.Errorf("KFold allocates %.3f times per extra row (%.0f allocs at 200 rows, %.0f at 3200) — folds must be index permutations, not copies",
+			perRow, small, big)
+	}
+}
+
 func TestBootstrapSampling(t *testing.T) {
 	d := blob(2, 25, 2)
-	b := d.Bootstrap(testRNG(13))
+	b := d.View().Bootstrap(testRNG(13))
 	if b.Rows() != d.Rows() {
 		t.Errorf("bootstrap has %d rows, want %d", b.Rows(), d.Rows())
 	}
@@ -217,10 +244,10 @@ func TestBootstrapSampling(t *testing.T) {
 
 func TestSelectSharesRows(t *testing.T) {
 	d := blob(2, 5, 2)
-	s := d.Select([]int{0, 1})
-	s.X[0][0] = 12345
-	if d.X[0][0] != 12345 {
-		t.Error("Select should share row storage")
+	s := d.View().Select([]int{0, 1})
+	d.Frame().Cols[0][0] = 12345
+	if s.At(0, 0) != 12345 {
+		t.Error("Select should share column storage with the frame")
 	}
 	c := d.CloneDeep()
 	c.X[1][0] = -999
@@ -244,8 +271,10 @@ func TestMetaFeatures(t *testing.T) {
 	if m.CategoricalFrac != 0 {
 		t.Errorf("categorical fraction %v, want 0", m.CategoricalFrac)
 	}
-	d.Kinds = []FeatureKind{Categorical, Categorical, Numeric}
-	if got := d.Meta().CategoricalFrac; math.Abs(got-2.0/3) > 1e-9 {
+	// The frame conversion caches Kinds, so mutate a fresh adapter.
+	d2 := blob(4, 25, 3)
+	d2.Kinds = []FeatureKind{Categorical, Categorical, Numeric}
+	if got := d2.Meta().CategoricalFrac; math.Abs(got-2.0/3) > 1e-9 {
 		t.Errorf("categorical fraction %v, want 2/3", got)
 	}
 	vec := m.Vector()
