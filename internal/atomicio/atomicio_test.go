@@ -127,6 +127,95 @@ func TestWriteFileFreshTarget(t *testing.T) {
 	}
 }
 
+// TestRenameTargetBusyPropagatesAndCleansUp: a rename that cannot
+// complete — here the target name is occupied by a non-empty directory,
+// the classic un-replaceable target — must surface the error and remove
+// the temp file instead of leaving it stranded next to the artifact.
+func TestRenameTargetBusyPropagatesAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.MkdirAll(filepath.Join(path, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFileBytes(path, []byte("new\n"))
+	if err == nil {
+		t.Fatal("rename over a non-empty directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "renaming") {
+		t.Errorf("error %v does not identify the rename step", err)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 || names[0] != "out.csv" {
+		t.Errorf("failed rename left temp debris: %v", names)
+	}
+	if _, err := os.Stat(filepath.Join(path, "occupied")); err != nil {
+		t.Errorf("failed write disturbed the busy target: %v", err)
+	}
+}
+
+// TestSyncFailurePropagates: an fsync that fails after a complete write
+// must fail the whole export — acknowledging an artifact the kernel
+// never promised to persist would break the crash-consistency story —
+// and must still clean up the temp file. The failure is induced by
+// closing the temp file out from under WriteFile, which makes the
+// subsequent Sync fail the way a revoked descriptor or dying filesystem
+// would.
+func TestSyncFailurePropagates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("old\n")); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		f, ok := w.(*os.File)
+		if !ok {
+			t.Fatalf("render writer is %T, want *os.File", w)
+		}
+		if _, err := f.WriteString("complete new content\n"); err != nil {
+			return err
+		}
+		return f.Close() // every later file op on the temp now fails
+	})
+	if err == nil {
+		t.Fatal("sync failure was swallowed")
+	}
+	if !strings.Contains(err.Error(), "syncing") {
+		t.Errorf("error %v does not identify the sync step", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old\n" {
+		t.Errorf("target is %q after failed sync, want the old artifact", data)
+	}
+	if names := readDirNames(t, dir); len(names) != 1 {
+		t.Errorf("failed sync left temp debris: %v", names)
+	}
+}
+
+// TestWriteErrorCleansTemp: a failed Write inside render (disk full, a
+// closed descriptor) propagates and leaves no temp file behind.
+func TestWriteErrorCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.svg")
+	err := WriteFile(path, func(w io.Writer) error {
+		if f, ok := w.(*os.File); ok {
+			f.Close()
+		}
+		_, werr := w.Write([]byte("doomed"))
+		return werr
+	})
+	if err == nil {
+		t.Fatal("write onto a closed temp succeeded")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Errorf("failed first write left a target behind: %v", statErr)
+	}
+	if names := readDirNames(t, dir); len(names) != 0 {
+		t.Errorf("failed write left temp debris: %v", names)
+	}
+}
+
 func TestWriteFileMissingDirectory(t *testing.T) {
 	err := WriteFileBytes(filepath.Join(t.TempDir(), "no-such-dir", "x.csv"), []byte("x"))
 	if err == nil {

@@ -62,6 +62,15 @@ type Config struct {
 	// normalization arms it with defaults — a hang with no watchdog
 	// wedges a worker forever.
 	Watchdog WatchdogPolicy
+	// Shard restricts execution to one content-addressed slice of the
+	// grid (see ShardSpec). The zero value runs the whole grid. Like
+	// Workers, sharding is an execution knob, not part of the grid's
+	// identity: the cells a shard runs are bit-identical to the same
+	// cells of an unsharded run, and merged shard journals reproduce
+	// the unsharded exports byte for byte. It is therefore excluded
+	// from the grid fingerprint; the shard journal header binds the
+	// shard assignment separately.
+	Shard ShardSpec
 }
 
 // WatchdogPolicy is the stall watchdog's configuration: a cell whose

@@ -23,6 +23,11 @@ import (
 type Fig3Result struct {
 	Records []Record
 	Stats   []CellStats
+	// JournalDamaged counts CRC-skipped checkpoint lines encountered
+	// while resuming from a journal (the affected cells were rerun).
+	// Zero for journal-less runs. It is surfaced in the run summary,
+	// never silently swallowed.
+	JournalDamaged int
 }
 
 // Fig3 runs the paper's main grid: every system × budget × dataset × seed
@@ -37,12 +42,23 @@ func Fig3(cfg Config) Fig3Result {
 // interrupted run picks up where it was killed.
 func Fig3Resumable(cfg Config, journalPath string) (Fig3Result, error) {
 	cfg = cfg.normalized()
-	records, err := RunGridResumable(DefaultSystems(), cfg, journalPath)
+	run, err := RunShard(DefaultSystems(), cfg, journalPath)
 	if err != nil {
 		return Fig3Result{}, err
 	}
+	res := Fig3FromRecords(cfg, run.Records)
+	res.JournalDamaged = run.Damaged
+	return res, nil
+}
+
+// Fig3FromRecords aggregates already-obtained grid records — merged
+// shard journals, a replayed export — exactly as Fig3Resumable would
+// aggregate a live run: same bootstrap RNG stream, same stats, and
+// therefore byte-identical rendered reports and SVG exports.
+func Fig3FromRecords(cfg Config, records []Record) Fig3Result {
+	cfg = cfg.normalized()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xf163))
-	return Fig3Result{Records: records, Stats: Aggregate(records, rng)}, nil
+	return Fig3Result{Records: records, Stats: Aggregate(records, rng)}
 }
 
 // ---------------------------------------------------------------------------

@@ -63,6 +63,12 @@ const (
 type journalHeader struct {
 	Version     int    `json:"version"`
 	Fingerprint string `json:"fingerprint"`
+	// Shard is the "index/count" shard assignment the journal's cells
+	// belong to; empty for a whole-grid journal. A shard journal can
+	// only be resumed with the exact same assignment — the cells a
+	// different ShardSpec owns would silently diverge from the file's
+	// contents — while merging only requires matching fingerprints.
+	Shard string `json:"shard,omitempty"`
 }
 
 const (
@@ -105,12 +111,21 @@ func Fingerprint(systems []automl.System, cfg Config) string {
 // a v1 journal with intact checkpoints after the damage refuses to
 // open rather than silently truncating them.
 func OpenJournal(path, fingerprint string) (*Journal, error) {
+	return openJournal(path, fingerprint, ShardSpec{})
+}
+
+// openJournal opens (or creates) a journal bound to a grid fingerprint
+// and a shard assignment. Both must match an existing journal exactly:
+// the fingerprint guards against resuming a different grid, the shard
+// spec against resuming a shard journal under a different assignment
+// (whose cell set would silently diverge from the file's contents).
+func openJournal(path, fingerprint string, shard ShardSpec) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("bench: opening journal: %w", err)
 	}
 	j := &Journal{f: f, done: make(map[string]Record)}
-	if err := j.replay(fingerprint); err != nil {
+	if err := j.replay(fingerprint, shard); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -120,52 +135,44 @@ func OpenJournal(path, fingerprint string) (*Journal, error) {
 	return j, nil
 }
 
-// replay loads the header and completed records, truncates a torn
-// trailing line, and positions the write offset at the end of the last
-// complete line. Damaged complete lines are handled per format version:
-// v2 lines carry a CRC, so a damaged line is confidently skipped (its
-// cell reruns) while every intact line before and after it is kept; v1
-// lines cannot distinguish corruption from a format break, so damage
-// followed by intact checkpoints is an error — truncating would
-// silently discard completed work — and damage at the very end is
-// treated as the historical torn tail.
-func (j *Journal) replay(fingerprint string) error {
-	data, err := io.ReadAll(j.f)
-	if err != nil {
-		return fmt.Errorf("bench: reading journal: %w", err)
-	}
-	if len(data) == 0 {
-		// Fresh journal: write the current-version header.
-		j.version = journalVersion
-		hdr, err := json.Marshal(journalHeader{Version: j.version, Fingerprint: fingerprint})
-		if err != nil {
-			return fmt.Errorf("bench: encoding journal header: %w", err)
-		}
-		if _, err := j.f.Write(append(hdr, '\n')); err != nil {
-			return fmt.Errorf("bench: writing journal header: %w", err)
-		}
-		return j.f.Sync()
-	}
+// journalState is a parsed journal: the header, every intact record in
+// line order, the count of damaged lines, and the append offset at the
+// end of the last kept line. parseJournal produces it without touching
+// the file, so both resume (replay) and merge (LoadJournal) decode the
+// format exactly once.
+type journalState struct {
+	header  journalHeader
+	records []Record
+	damaged int
+	end     int64
+}
 
+// parseJournal decodes a journal image: header line, then record lines,
+// with a final segment lacking '\n' treated as the torn tail of an
+// interrupted write (not decoded, not counted as damage). Damaged
+// complete lines are handled per format version: v2 lines carry a CRC,
+// so a damaged line is confidently skipped and counted while every
+// intact line before and after it is kept; v1 lines cannot distinguish
+// corruption from a format break, so damage followed by intact
+// checkpoints is an error — truncating would silently discard completed
+// work — and damage at the very end is treated as the historical torn
+// tail.
+func parseJournal(data []byte) (*journalState, error) {
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
-		return fmt.Errorf("bench: corrupt journal header: no complete header line")
+		return nil, fmt.Errorf("bench: corrupt journal header: no complete header line")
 	}
-	var hdr journalHeader
-	if err := json.Unmarshal(data[:nl+1], &hdr); err != nil {
-		return fmt.Errorf("bench: corrupt journal header: %w", err)
+	st := &journalState{}
+	if err := json.Unmarshal(data[:nl+1], &st.header); err != nil {
+		return nil, fmt.Errorf("bench: corrupt journal header: %w", err)
 	}
-	if hdr.Version != journalVersionV1 && hdr.Version != journalVersion {
-		return fmt.Errorf("bench: journal version %d, want %d (or legacy %d)", hdr.Version, journalVersion, journalVersionV1)
+	if st.header.Version != journalVersionV1 && st.header.Version != journalVersion {
+		return nil, fmt.Errorf("bench: journal version %d, want %d (or legacy %d)", st.header.Version, journalVersion, journalVersionV1)
 	}
-	if hdr.Fingerprint != fingerprint {
-		return fmt.Errorf("bench: journal fingerprint %s does not match grid %s — refusing to resume a different configuration", hdr.Fingerprint, fingerprint)
-	}
-	j.version = hdr.Version
 
 	body := data[nl+1:]
 	// Split into complete lines; a final segment without '\n' is the
-	// torn tail of an interrupted write and is truncated below.
+	// torn tail of an interrupted write.
 	var lines [][]byte
 	for len(body) > 0 {
 		i := bytes.IndexByte(body, '\n')
@@ -183,30 +190,30 @@ func (j *Journal) replay(fingerprint string) error {
 	recs := make([]parsed, len(lines))
 	firstBad := -1
 	for i, line := range lines {
-		rec, ok := decodeJournalLine(j.version, line)
+		rec, ok := decodeJournalLine(st.header.Version, line)
 		recs[i] = parsed{rec: rec, ok: ok}
 		if !ok && firstBad < 0 {
 			firstBad = i
 		}
 	}
 
-	end := int64(nl + 1) // append offset: end of the last kept line
+	st.end = int64(nl + 1) // append offset: end of the last kept line
 	switch {
-	case j.version >= journalVersion:
+	case st.header.Version >= journalVersion:
 		// CRC-checked lines: keep every intact record, count the damage.
 		for i, p := range recs {
 			if p.ok {
-				j.done[cellID(p.rec.System, p.rec.Dataset, p.rec.Budget, p.rec.Seed)] = p.rec
+				st.records = append(st.records, p.rec)
 			} else {
-				j.discarded++
+				st.damaged++
 			}
-			end += int64(len(lines[i]) + 1)
+			st.end += int64(len(lines[i]) + 1)
 		}
 	case firstBad < 0:
 		// Clean v1 body.
 		for i, p := range recs {
-			j.done[cellID(p.rec.System, p.rec.Dataset, p.rec.Budget, p.rec.Seed)] = p.rec
-			end += int64(len(lines[i]) + 1)
+			st.records = append(st.records, p.rec)
+			st.end += int64(len(lines[i]) + 1)
 		}
 	default:
 		// Damaged v1 body: refuse to destroy intact checkpoints that
@@ -219,18 +226,57 @@ func (j *Journal) replay(fingerprint string) error {
 			}
 		}
 		if intactAfter > 0 {
-			return fmt.Errorf("bench: v1 journal damaged at record line %d with %d intact checkpoint(s) after it — refusing to truncate completed work; remove or repair the journal (v2 journals skip damaged lines)", firstBad+1, intactAfter)
+			return nil, fmt.Errorf("bench: v1 journal damaged at record line %d with %d intact checkpoint(s) after it — refusing to truncate completed work; remove or repair the journal (v2 journals skip damaged lines)", firstBad+1, intactAfter)
 		}
 		for i, p := range recs[:firstBad] {
-			j.done[cellID(p.rec.System, p.rec.Dataset, p.rec.Budget, p.rec.Seed)] = p.rec
-			end += int64(len(lines[i]) + 1)
+			st.records = append(st.records, p.rec)
+			st.end += int64(len(lines[i]) + 1)
 		}
-		j.discarded = len(recs) - firstBad
+		st.damaged = len(recs) - firstBad
 	}
-	if err := j.f.Truncate(end); err != nil {
+	return st, nil
+}
+
+// replay loads the header and completed records, truncates a torn
+// trailing line, and positions the write offset at the end of the last
+// complete line.
+func (j *Journal) replay(fingerprint string, shard ShardSpec) error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("bench: reading journal: %w", err)
+	}
+	if len(data) == 0 {
+		// Fresh journal: write the current-version header.
+		j.version = journalVersion
+		hdr, err := json.Marshal(journalHeader{Version: j.version, Fingerprint: fingerprint, Shard: shard.String()})
+		if err != nil {
+			return fmt.Errorf("bench: encoding journal header: %w", err)
+		}
+		if _, err := j.f.Write(append(hdr, '\n')); err != nil {
+			return fmt.Errorf("bench: writing journal header: %w", err)
+		}
+		return j.f.Sync()
+	}
+
+	st, err := parseJournal(data)
+	if err != nil {
+		return err
+	}
+	if st.header.Fingerprint != fingerprint {
+		return fmt.Errorf("bench: journal fingerprint %s does not match grid %s — refusing to resume a different configuration", st.header.Fingerprint, fingerprint)
+	}
+	if st.header.Shard != shard.String() {
+		return fmt.Errorf("bench: journal shard %q does not match requested shard %q — refusing to resume a different shard assignment", st.header.Shard, shard.String())
+	}
+	j.version = st.header.Version
+	j.discarded = st.damaged
+	for _, rec := range st.records {
+		j.done[cellID(rec.System, rec.Dataset, rec.Budget, rec.Seed)] = rec
+	}
+	if err := j.f.Truncate(st.end); err != nil {
 		return fmt.Errorf("bench: truncating damaged journal tail: %w", err)
 	}
-	if _, err := j.f.Seek(end, io.SeekStart); err != nil {
+	if _, err := j.f.Seek(st.end, io.SeekStart); err != nil {
 		return fmt.Errorf("bench: seeking journal: %w", err)
 	}
 	return nil

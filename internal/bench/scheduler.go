@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/openml"
 	"repro/internal/tabular"
+	"repro/internal/vclock"
 )
 
 // gridCell is one enumerated (system × dataset × budget × seed) cell of
@@ -42,32 +43,59 @@ type gridCell struct {
 // never from execution order — which is what lets the cells run in any
 // order, on any number of workers, and still reproduce the serial grid
 // exactly.
+//
+// With cfg.Shard set, only the cells the shard owns are enumerated.
+// Ownership is a pure function of (grid fingerprint, cell identity), and
+// dataset generation and splits are keyed by identity too, so the cells
+// a shard materializes are bit-identical to the same cells of an
+// unsharded enumeration. Datasets and splits are generated lazily — a
+// shard that owns no cell of a dataset never pays for (or rolls fault
+// decisions about) generating it; the injector's dataset-fault draws
+// are site-keyed, so skipping them cannot perturb any other decision.
 func enumerateGrid(systems []automl.System, cfg Config, inj *faults.Injector, journal *Journal) []gridCell {
+	owns := func(string) bool { return true }
+	if cfg.Shard.Enabled() {
+		fingerprint := Fingerprint(systems, cfg)
+		owns = func(id string) bool { return cfg.Shard.Owns(fingerprint, id) }
+	}
 	var cells []gridCell
 	for di, spec := range cfg.Datasets {
-		ds, dsErr := generateDataset(spec, cfg, inj)
+		var ds *tabular.Frame
+		var dsErr error
+		generated := false
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			var train, test tabular.View
-			if dsErr == nil {
-				splitRng := rand.New(rand.NewPCG(cfg.Seed+uint64(seed)*101, uint64(di)))
-				train, test = ds.All().TrainTestSplit(splitRng)
-			}
+			split := false
+			cellSeed := uint64(seed)*1009 + uint64(di)
 			for _, sys := range systems {
 				for _, budget := range cfg.Budgets {
 					if budget < sys.MinBudget() {
 						continue
 					}
+					id := cellID(sys.Name(), spec.Name, budget, cellSeed)
+					if !owns(id) {
+						continue
+					}
+					if !generated {
+						ds, dsErr = generateDataset(spec, cfg, inj)
+						generated = true
+					}
+					if !split && dsErr == nil {
+						splitRng := rand.New(rand.NewPCG(cfg.Seed+uint64(seed)*101, uint64(di)))
+						train, test = ds.All().TrainTestSplit(splitRng)
+						split = true
+					}
 					cell := gridCell{
 						sys:      sys,
 						spec:     spec,
 						budget:   budget,
-						cellSeed: uint64(seed)*1009 + uint64(di),
+						cellSeed: cellSeed,
 						train:    train,
 						test:     test,
 						dsErr:    dsErr,
 					}
 					if journal != nil {
-						if rec, ok := journal.Lookup(cellID(sys.Name(), spec.Name, budget, cell.cellSeed)); ok {
+						if rec, ok := journal.Lookup(id); ok {
 							rec := rec
 							cell.cached = &rec
 						}
@@ -122,18 +150,14 @@ func fitWithWatchdog(sys automl.System, train tabular.View, opts automl.Options,
 	//greenlint:allow wallclock watchdog probe timer is operator-facing real time; stall decisions depend only on virtual progress
 	ticker := time.NewTicker(wd.Interval)
 	defer ticker.Stop()
-	last := clock.Probe()
-	idle := 0
+	stall := vclock.NewStallCounter(wd.Probes)
+	stall.Observe(int64(clock.Probe()))
 	for {
 		select {
 		case out := <-done:
 			return out.res, false, out.err
 		case <-ticker.C:
-			if pos := clock.Probe(); pos != last {
-				last, idle = pos, 0
-				continue
-			}
-			if idle++; idle < wd.Probes {
+			if !stall.Observe(int64(clock.Probe())) {
 				continue
 			}
 			// No virtual progress across wd.Probes intervals: the cell

@@ -68,6 +68,10 @@ const (
 	Stall Kind = "stall"
 	// DatasetError is a dataset-generation failure.
 	DatasetError Kind = "dataset-error"
+	// ShardFailure marks a cell whose owning shard subprocess died and
+	// exhausted its restart budget: the cell never executed, but the
+	// sweep degrades to reporting it here instead of aborting.
+	ShardFailure Kind = "shard-failure"
 	// FallbackUsed labels records whose score came from the
 	// majority-class fallback predictor after retries were exhausted
 	// (AMLB semantics); the record's Failure field keeps the root cause.

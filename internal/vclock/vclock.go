@@ -103,6 +103,42 @@ func Makespan(durations []time.Duration, workers int) time.Duration {
 	return max
 }
 
+// StallCounter is the liveness rule shared by every watchdog in the
+// harness: a position observed unchanged across Threshold consecutive
+// probes means the observed party has stopped making progress. The
+// in-process cell watchdog feeds it virtual-clock probes; the shard
+// coordinator feeds it journal sizes — in both cases the probe cadence
+// is operator-facing real time, but the stall verdict depends only on
+// whether the monotone position advanced, never on how fast.
+type StallCounter struct {
+	threshold int
+	last      int64
+	idle      int
+	primed    bool
+}
+
+// NewStallCounter returns a counter that reports a stall after
+// threshold consecutive probes without progress. A threshold below one
+// never reports a stall (a disabled watchdog).
+func NewStallCounter(threshold int) *StallCounter {
+	return &StallCounter{threshold: threshold}
+}
+
+// Observe records one probe of the monitored position and reports
+// whether the stall threshold has been reached. The first observation
+// primes the counter; any change of position resets it.
+func (s *StallCounter) Observe(pos int64) bool {
+	if !s.primed || pos != s.last {
+		s.last, s.idle, s.primed = pos, 0, true
+		return false
+	}
+	s.idle++
+	return s.threshold > 0 && s.idle >= s.threshold
+}
+
+// Idle reports how many consecutive probes have seen no progress.
+func (s *StallCounter) Idle() int { return s.idle }
+
 // Budget couples a clock with a deadline. AutoML systems consult Remaining
 // and Exceeded to implement their individual budget-fidelity policies.
 type Budget struct {

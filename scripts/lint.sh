@@ -8,6 +8,17 @@
 #      (see internal/greenlint and the "Determinism invariants"
 #      section of DESIGN.md)
 #
+# All three steps walk the whole module (./...), so new packages — the
+# shard/merge/coordinator layer included — are covered without editing
+# this script. Wall-clock timers are rejected by greenlint unless the
+# site carries "//greenlint:allow wallclock <reason>"; the only
+# sanctioned pattern is operator-facing liveness machinery whose verdict
+# never reaches a measured quantity, e.g. the cell watchdog's probe
+# ticker (internal/bench/scheduler.go) and the coordinator's
+# process-deadline timer over shard journal growth
+# (internal/bench/coordinator.go). The reason must say why the site
+# cannot influence recorded results.
+#
 # Usage: scripts/lint.sh
 set -eu
 
