@@ -40,25 +40,26 @@ import (
 // options holds every flag value, so validation is a pure function the
 // tests can drive table-style without a process boundary.
 type options struct {
-	experiment string
-	seeds      int
-	datasets   int
-	names      string
-	quick      bool
-	metaIters  int
-	metaTopK   int
-	csvPath    string
-	jsonPath   string
-	svgDir     string
-	journal    string
-	faultRate  float64
-	faultSeed  uint64
-	memoryGB   float64
-	retries    int
-	workers    int
-	hangRate   float64
-	wdProbes   int
-	reportDir  string
+	experiment  string
+	seeds       int
+	datasets    int
+	names       string
+	quick       bool
+	metaIters   int
+	metaTopK    int
+	csvPath     string
+	jsonPath    string
+	svgDir      string
+	journal     string
+	faultRate   float64
+	faultSeed   uint64
+	memoryGB    float64
+	retries     int
+	workers     int
+	parallelism int
+	hangRate    float64
+	wdProbes    int
+	reportDir   string
 
 	shard            string
 	merge            string
@@ -88,6 +89,9 @@ func (o *options) validate() error {
 	}
 	if o.workers < 0 {
 		return fmt.Errorf("-workers %d must not be negative (0 means NumCPU)", o.workers)
+	}
+	if o.parallelism < 0 {
+		return fmt.Errorf("-parallelism %d must not be negative (0 means automatic)", o.parallelism)
 	}
 	if o.wdProbes < 0 {
 		return fmt.Errorf("-watchdog-probes %d must not be negative (0 means off)", o.wdProbes)
@@ -184,6 +188,7 @@ func main() {
 	flag.Float64Var(&o.memoryGB, "memory-gb", 0, "machine memory model in GB for simulated OOM kills (0 = off)")
 	flag.IntVar(&o.retries, "retries", 0, "max Fit attempts per cell (0 = 1, or 3 with faults enabled); retry energy is charged")
 	flag.IntVar(&o.workers, "workers", 0, "grid cells run concurrently (0 = NumCPU); output is identical at any worker count")
+	flag.IntVar(&o.parallelism, "parallelism", 0, "within-cell kernel worker budget (0 = auto: idle cores split across uncached cells); output is bit-identical at any level")
 	flag.Float64Var(&o.hangRate, "hang-rate", 0, "per-attempt probability in [0,1] that a Fit hangs without progress, exercising the stall watchdog (0 = off)")
 	flag.IntVar(&o.wdProbes, "watchdog-probes", 0, "probe intervals without virtual progress before a cell is abandoned as stalled (0 = off, or 4 when -hang-rate > 0)")
 	flag.StringVar(&o.reportDir, "report-dir", "", "also write each experiment's rendered report into this directory (atomic replace)")
@@ -253,10 +258,11 @@ func gridConfig(o options) (bench.Config, error) {
 			Seed:        o.faultSeed,
 			MemoryBytes: int64(o.memoryGB * 1e9),
 		},
-		Retry:    bench.RetryPolicy{MaxAttempts: o.retries},
-		Workers:  o.workers,
-		Watchdog: bench.WatchdogPolicy{Probes: o.wdProbes},
-		Shard:    o.shardSpec,
+		Retry:       bench.RetryPolicy{MaxAttempts: o.retries},
+		Workers:     o.workers,
+		Parallelism: o.parallelism,
+		Watchdog:    bench.WatchdogPolicy{Probes: o.wdProbes},
+		Shard:       o.shardSpec,
 	}
 	datasets := o.datasets
 	if o.quick {
@@ -438,6 +444,7 @@ func forwardedArgs(o options) []string {
 		"-memory-gb", strconv.FormatFloat(o.memoryGB, 'g', -1, 64),
 		"-retries", strconv.Itoa(o.retries),
 		"-workers", strconv.Itoa(o.workers),
+		"-parallelism", strconv.Itoa(o.parallelism),
 		"-hang-rate", strconv.FormatFloat(o.hangRate, 'g', -1, 64),
 		"-watchdog-probes", strconv.Itoa(o.wdProbes),
 	}

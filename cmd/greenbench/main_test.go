@@ -120,6 +120,9 @@ func TestOptionsValidate(t *testing.T) {
 		{name: "workers negative", mutate: func(o *options) {
 			o.workers = -3
 		}, wantErr: "-workers"},
+		{name: "parallelism negative", mutate: func(o *options) {
+			o.parallelism = -2
+		}, wantErr: "-parallelism"},
 		{name: "watchdog probes negative", mutate: func(o *options) {
 			o.wdProbes = -1
 		}, wantErr: "-watchdog-probes"},

@@ -21,6 +21,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/metrics"
+	"repro/internal/ml"
 	"repro/internal/openml"
 	"repro/internal/tabular"
 )
@@ -57,6 +58,15 @@ type Config struct {
 	// so Workers is a pure throughput knob and deliberately not part of
 	// the journal fingerprint.
 	Workers int
+	// Parallelism sets the within-cell worker budget handed to the ml
+	// kernels (ml.SetParallelism) for the duration of the grid. Zero
+	// chooses automatically: cores that cross-cell concurrency leaves
+	// idle — Workers divided by the number of uncached cells, floored at
+	// 1 — go to individual fits. The kernels' sanctioned reduction
+	// orders make every proba, Cost and export bit-identical at any
+	// level, so like Workers this is a pure throughput knob and
+	// deliberately not part of the journal fingerprint.
+	Parallelism int
 	// Watchdog configures the per-cell stall watchdog. The zero value
 	// disables it unless hang faults are injected, in which case
 	// normalization arms it with defaults — a hang with no watchdog
@@ -261,10 +271,37 @@ func runGrid(systems []automl.System, cfg Config, journal *Journal) ([]Record, e
 	cfg = cfg.normalized()
 	inj := faults.New(cfg.Faults)
 	cells := enumerateGrid(systems, cfg, inj, journal)
+	// Hand idle cores to the kernels for the duration of the grid. The
+	// knob is global but harmless if grids overlap: every kernel is
+	// bit-identical at every level, so a racing Set can only shift
+	// wall-clock time, never a record.
+	prev := ml.SetParallelism(cellParallelism(cfg, cells))
+	defer ml.SetParallelism(prev)
 	if cfg.Workers == 1 {
 		return runGridSerial(cells, cfg, inj, journal)
 	}
 	return runGridParallel(cells, cfg, inj, journal)
+}
+
+// cellParallelism resolves the within-cell worker budget for a grid:
+// the explicit cfg.Parallelism when set, otherwise Workers divided by
+// the uncached cell count — when the grid has fewer live cells than
+// workers (a resumed run's tail, a sharded slice, a single big fit),
+// the spare cores speed up the cells that remain.
+func cellParallelism(cfg Config, cells []gridCell) int {
+	if cfg.Parallelism > 0 {
+		return cfg.Parallelism
+	}
+	uncached := 0
+	for _, c := range cells {
+		if c.cached == nil {
+			uncached++
+		}
+	}
+	if uncached >= cfg.Workers {
+		return 1
+	}
+	return cfg.Workers / max(1, uncached)
 }
 
 // generateDataset materializes a dataset spec, retrying transient

@@ -7,7 +7,7 @@
 // those cuts at review time instead of waiting for a regression test to
 // notice the bytes changed.
 //
-// Four analyzers run over every package:
+// Six analyzers run over every package:
 //
 //   - wallclock: no time.Now/time.Since/time.Sleep — measured code must
 //     go through internal/vclock and internal/energy.
@@ -21,6 +21,11 @@
 //   - rowmajor: in internal/ml no unannotated [][]float64 allocation and
 //     no View.MaterializeRows — the kernels are columnar; a row-major
 //     feature matrix is the per-fit transpose regression coming back.
+//   - reduceorder: in internal/ml no unannotated goroutine launch and no
+//     write to a captured variable from inside one — shared accumulators
+//     make float reduction order (and the output bits) depend on
+//     scheduling; the sanctioned pattern is item-addressed slots reduced
+//     on the caller in slot order.
 //
 // Legitimate exceptions are annotated in the source, never silently
 // exempted:
@@ -68,7 +73,7 @@ type Analyzer struct {
 }
 
 // Analyzers is the full suite, in the order findings are attributed.
-var Analyzers = []*Analyzer{Wallclock, GlobalRand, MapOrder, WrapErr, RowMajor}
+var Analyzers = []*Analyzer{Wallclock, GlobalRand, MapOrder, WrapErr, RowMajor, ReduceOrder}
 
 // DirectiveCheck is the pseudo-check name under which malformed
 // //greenlint: directives are reported.

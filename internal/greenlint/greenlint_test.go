@@ -170,6 +170,25 @@ func TestRowMajorScopedToML(t *testing.T) {
 	}
 }
 
+func TestReduceOrderFixture(t *testing.T) {
+	findings := checkFixture(t, filepath.Join("reduceorder", "ml"))
+	if len(findings) == 0 {
+		t.Fatal("reduceorder fixture produced no findings; the CI gate would pass vacuously")
+	}
+}
+
+// TestReduceOrderScopedToML pins the path scoping: goroutines with
+// mutex-guarded accumulators outside /ml packages (the bench
+// scheduler's idiom) must produce no findings.
+func TestReduceOrderScopedToML(t *testing.T) {
+	findings, _, _ := lintFixture(t, filepath.Join("reduceorder", "elsewhere"))
+	for _, f := range findings {
+		if f.Check == "reduceorder" {
+			t.Errorf("reduceorder fired outside internal/ml: %s", f)
+		}
+	}
+}
+
 // TestDirectivesFixture covers the suppression machinery: allow
 // directives on the same line and the line above suppress, directives
 // for another check or further away do not, and malformed directives

@@ -1,0 +1,24 @@
+// Package elsewhere proves the reduceorder check is scoped to /ml
+// packages: goroutines and shared accumulators are fine here (the
+// bench scheduler has its own determinism contract and its own
+// synchronization idioms).
+package elsewhere
+
+import "sync"
+
+func sharedAccumulator(xs []float64) float64 {
+	var sum float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(len(xs))
+	for _, x := range xs {
+		go func(v float64) {
+			defer wg.Done()
+			mu.Lock()
+			sum += v
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return sum
+}

@@ -1,0 +1,99 @@
+// Package ml is the reduceorder fixture: its directory ends in /ml so
+// the path-scoped check treats it like the real kernel package.
+package ml
+
+import "sync"
+
+func work() error { return nil }
+
+// sharedAccumulator is the canonical violation: the launch is
+// unannotated and the workers fold into shared variables, so the float
+// accumulation order depends on goroutine scheduling.
+func sharedAccumulator(xs []float64) float64 {
+	var sum float64
+	var count int
+	var wg sync.WaitGroup
+	wg.Add(len(xs))
+	for _, x := range xs {
+		go func(v float64) { // want "goroutine launch in the ml kernels"
+			defer wg.Done()
+			sum += v // want "captured variable \"sum\""
+			count++  // want "captured variable \"count\""
+		}(x)
+	}
+	wg.Wait()
+	_ = count
+	return sum
+}
+
+// disjointSlots is the sanctioned pattern: each worker writes only its
+// own item-addressed slot and the caller reduces in index order. The
+// slot writes are clean; only the launch needs its annotation.
+func disjointSlots(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	wg.Add(len(xs))
+	for i := range xs {
+		//greenlint:allow reduceorder workers write only their own slot; the caller reduces in index order
+		go func(i int) {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// plainAssign: a bare captured identifier written with = is as
+// scheduling-dependent as +=; last writer wins.
+func plainAssign() error {
+	var firstErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//greenlint:allow reduceorder fixture: the launch is annotated so only the write below reports
+	go func() {
+		defer wg.Done()
+		firstErr = work() // want "captured variable \"firstErr\""
+	}()
+	wg.Wait()
+	return firstErr
+}
+
+// nestedClosure: a closure handed to sync.Once still runs on the
+// worker goroutine, so its captured writes are flagged too.
+func nestedClosure() int {
+	var once sync.Once
+	var val int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//greenlint:allow reduceorder fixture: the launch is annotated so only the nested write reports
+	go func() {
+		defer wg.Done()
+		once.Do(func() {
+			val = 1 // want "captured variable \"val\""
+		})
+	}()
+	wg.Wait()
+	return val
+}
+
+// localState: variables declared inside the goroutine (including its
+// parameters) are worker-local and never flagged.
+func localState(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//greenlint:allow reduceorder fixture: every write below is to goroutine-local state
+	go func(seed int) {
+		defer wg.Done()
+		local := seed
+		local++
+		local = local * 2
+		seed += local
+		_ = seed
+	}(n)
+	wg.Wait()
+}

@@ -45,40 +45,66 @@ func NewForestClassifier(p ForestParams) *ForestClassifier {
 	return &ForestClassifier{Params: p}
 }
 
-// Fit implements Classifier.
+// Fit implements Classifier. Trees fit in parallel under the package
+// Parallelism knob with pre-split RNG streams: the parent stream is
+// consumed sequentially up front — one PCG seed pair per tree, in tree
+// order — so each tree owns an independent deterministic stream
+// regardless of which worker fits it when, and results reduce from
+// tree-indexed slots in tree order. Outputs are therefore bit-identical
+// at every parallelism level.
 func (f *ForestClassifier) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	p := f.Params.normalized(ds.Features())
 	f.classes = ds.Classes()
-	f.trees = make([]*TreeClassifier, 0, p.Trees)
-	var cost Cost
-	// One bootstrap index buffer is shared across trees (same RNG draws
-	// as View.Bootstrap): the tree kernel gathers the view into its
-	// column cache, so the buffer can be overwritten for the next tree.
-	var bootIdx []int
-	if p.Bootstrap {
-		bootIdx = make([]int, ds.Rows())
+	n := ds.Rows()
+	seeds := make([][2]uint64, p.Trees)
+	for i := range seeds {
+		seeds[i] = [2]uint64{rng.Uint64(), rng.Uint64()}
 	}
-	for i := 0; i < p.Trees; i++ {
+	trees := make([]*TreeClassifier, p.Trees)
+	costs := make([]Cost, p.Trees)
+	errs := make([]error, p.Trees)
+	// Per-worker bootstrap index buffers (same draws as View.Bootstrap):
+	// the tree kernel gathers the view into its column cache, so a
+	// worker can overwrite its buffer for its next tree.
+	bootBufs := make([][]int, Parallelism())
+	runIndexed(p.Trees, func(w, i int) {
+		trng := rand.New(rand.NewPCG(seeds[i][0], seeds[i][1]))
 		tree := NewTreeClassifier(p.Tree)
 		data := ds
 		if p.Bootstrap {
-			for j := range bootIdx {
-				bootIdx[j] = ds.RowIndex(rng.IntN(ds.Rows()))
+			bootIdx := bootBufs[w]
+			if bootIdx == nil {
+				bootIdx = make([]int, n)
+				bootBufs[w] = bootIdx
 			}
-			cost.Generic += float64(ds.Rows())
+			for j := range bootIdx {
+				bootIdx[j] = ds.RowIndex(trng.IntN(n))
+			}
+			costs[i].Generic += float64(n)
 			data = tabular.NewView(ds.Frame(), bootIdx)
 		}
-		c, err := tree.Fit(data, rng)
-		if err != nil {
-			return cost, fmt.Errorf("ml: forest tree %d: %w", i, err)
+		c, err := tree.Fit(data, trng)
+		costs[i].Add(c)
+		trees[i], errs[i] = tree, err
+	})
+	// Fixed reduction in tree order; the first error wins, counting only
+	// the cost of the trees before it (the historical early-stop shape).
+	var cost Cost
+	f.trees = f.trees[:0]
+	for i := 0; i < p.Trees; i++ {
+		if errs[i] != nil {
+			return cost, fmt.Errorf("ml: forest tree %d: %w", i, errs[i])
 		}
-		cost.Add(c)
-		f.trees = append(f.trees, tree)
+		cost.Add(costs[i])
+		f.trees = append(f.trees, trees[i])
 	}
 	return cost, nil
 }
 
-// PredictProba implements Classifier by averaging tree leaf distributions.
+// PredictProba implements Classifier by averaging tree leaf
+// distributions. Trees predict in parallel into tree-indexed slots;
+// the average reduces on the caller in tree order, so the float
+// accumulation sequence matches the sequential loop exactly.
 func (f *ForestClassifier) PredictProba(x tabular.View) ([][]float64, Cost) {
 	if len(f.trees) == 0 {
 		return uniformProba(x.Rows(), max(f.classes, 2)), Cost{}
@@ -88,10 +114,14 @@ func (f *ForestClassifier) PredictProba(x tabular.View) ([][]float64, Cost) {
 	for i := range out {
 		out[i] = make([]float64, f.classes)
 	}
-	for _, tree := range f.trees {
-		proba, c := tree.PredictProba(x)
-		cost.Add(c)
-		for i, row := range proba {
+	probas := make([][][]float64, len(f.trees))
+	treeCosts := make([]Cost, len(f.trees))
+	runIndexed(len(f.trees), func(_, t int) {
+		probas[t], treeCosts[t] = f.trees[t].PredictProba(x)
+	})
+	for t := range f.trees {
+		cost.Add(treeCosts[t])
+		for i, row := range probas[t] {
 			for j, p := range row {
 				out[i][j] += p
 			}
@@ -143,42 +173,60 @@ func NewForestRegressor(p ForestParams) *ForestRegressor {
 	return &ForestRegressor{Params: p}
 }
 
-// FitReg implements Regressor.
+// FitReg implements Regressor. Trees fit in parallel with pre-split
+// RNG streams and tree-order reduction, exactly like
+// ForestClassifier.Fit.
 func (f *ForestRegressor) FitReg(x tabular.View, y []float64, rng *rand.Rand) (Cost, error) {
 	n := x.Rows()
 	if n == 0 {
 		return Cost{}, fmt.Errorf("ml: forest regressor fit on empty data")
 	}
 	p := f.Params.normalized(x.Features())
-	f.trees = make([]*TreeRegressor, 0, p.Trees)
-	var cost Cost
-	// Bootstrap resample buffers are shared across trees: the tree kernel
-	// gathers what it needs into its column cache, so each tree can
-	// overwrite them for the next draw.
-	var bootIdx []int
-	var by []float64
-	if p.Bootstrap {
-		bootIdx = make([]int, n)
-		by = make([]float64, len(y))
+	seeds := make([][2]uint64, p.Trees)
+	for i := range seeds {
+		seeds[i] = [2]uint64{rng.Uint64(), rng.Uint64()}
 	}
-	for i := 0; i < p.Trees; i++ {
+	trees := make([]*TreeRegressor, p.Trees)
+	costs := make([]Cost, p.Trees)
+	errs := make([]error, p.Trees)
+	// Per-worker bootstrap resample buffers: the tree kernel gathers
+	// what it needs into its column cache, so a worker can overwrite
+	// its buffers for its next tree.
+	type bootBuf struct {
+		idx []int
+		y   []float64
+	}
+	bootBufs := make([]*bootBuf, Parallelism())
+	runIndexed(p.Trees, func(w, i int) {
+		trng := rand.New(rand.NewPCG(seeds[i][0], seeds[i][1]))
 		tree := NewTreeRegressor(p.Tree)
 		xs, ys := x, y
 		if p.Bootstrap {
-			for j := range bootIdx {
-				r := rng.IntN(n)
-				bootIdx[j] = x.RowIndex(r)
-				by[j] = y[r]
+			bb := bootBufs[w]
+			if bb == nil {
+				bb = &bootBuf{idx: make([]int, n), y: make([]float64, len(y))}
+				bootBufs[w] = bb
 			}
-			cost.Generic += float64(n)
-			xs, ys = tabular.NewView(x.Frame(), bootIdx), by
+			for j := range bb.idx {
+				r := trng.IntN(n)
+				bb.idx[j] = x.RowIndex(r)
+				bb.y[j] = y[r]
+			}
+			costs[i].Generic += float64(n)
+			xs, ys = tabular.NewView(x.Frame(), bb.idx), bb.y
 		}
-		c, err := tree.FitReg(xs, ys, rng)
-		if err != nil {
-			return cost, fmt.Errorf("ml: forest regressor tree %d: %w", i, err)
+		c, err := tree.FitReg(xs, ys, trng)
+		costs[i].Add(c)
+		trees[i], errs[i] = tree, err
+	})
+	var cost Cost
+	f.trees = f.trees[:0]
+	for i := 0; i < p.Trees; i++ {
+		if errs[i] != nil {
+			return cost, fmt.Errorf("ml: forest regressor tree %d: %w", i, errs[i])
 		}
-		cost.Add(c)
-		f.trees = append(f.trees, tree)
+		cost.Add(costs[i])
+		f.trees = append(f.trees, trees[i])
 	}
 	return cost, nil
 }

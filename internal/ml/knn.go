@@ -54,11 +54,41 @@ func (k *KNN) Fit(ds tabular.View, _ *rand.Rand) (Cost, error) {
 	return Cost{Generic: float64(ds.Rows())}, nil
 }
 
-// PredictProba implements Classifier. The distance scan runs
-// feature-major over the memorized columns; each query/train pair still
-// accumulates its squared distance in ascending feature order, so the
-// distances — and the neighbour ranking derived from them — are
-// bit-identical to the historical row-major scan.
+// knnCand is one training row's (distance, label) pair during
+// neighbour selection.
+type knnCand struct {
+	dist  float64
+	label int
+}
+
+// knnByDist sorts candidates by ascending distance. A concrete
+// sort.Interface runs the exact pdqsort the historical sort.Slice call
+// used (both are generated from the same template), so ties between
+// equal distances resolve through the identical swap sequence.
+type knnByDist []knnCand
+
+func (s knnByDist) Len() int           { return len(s) }
+func (s knnByDist) Less(a, b int) bool { return s[a].dist < s[b].dist }
+func (s knnByDist) Swap(a, b int)      { s[a], s[b] = s[b], s[a] }
+
+// knnQBlock is the query-block width of the distance kernel: one pass
+// over the memorized columns serves knnQBlock queries, cutting column
+// traffic by that factor while each (query, train) pair still sums its
+// squared distance in ascending feature order.
+const knnQBlock = 8
+
+// knnWorker is one worker's private query scratch.
+type knnWorker struct {
+	dist  []float64 // knnQBlock stacked distance rows
+	q     []float64 // gathered query-column block
+	cands []knnCand
+}
+
+// PredictProba implements Classifier. The scan is feature-major over
+// the memorized columns, blocked two ways: query blocks share one pass
+// over the training columns, and blocks of queries run in parallel
+// under the package Parallelism knob (disjoint output rows, Cost from
+// a closed formula) — bit-identical to the historical per-query scan.
 func (k *KNN) PredictProba(x tabular.View) ([][]float64, Cost) {
 	m := x.Rows()
 	if len(k.cols) == 0 || len(k.y) == 0 {
@@ -71,36 +101,99 @@ func (k *KNN) PredictProba(x tabular.View) ([][]float64, Cost) {
 		kk = n
 	}
 	out := make([][]float64, m) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
-	type cand struct {
-		dist  float64
-		label int
-	}
-	for i := 0; i < m; i++ {
-		cands := make([]cand, n)
-		for t := range cands {
-			cands[t].label = k.y[t]
+	workers := make([]*knnWorker, Parallelism())
+	runRowBlocks(m, func(w, _, lo, hi int) {
+		ws := workers[w]
+		if ws == nil {
+			ws = &knnWorker{
+				dist:  make([]float64, knnQBlock*n),
+				q:     make([]float64, knnQBlock),
+				cands: make([]knnCand, n),
+			}
+			workers[w] = ws
 		}
-		for j := 0; j < d; j++ {
-			q := x.At(i, j)
-			for t, v := range k.cols[j] {
-				diff := v - q
-				cands[t].dist += diff * diff
+		for i := lo; i < hi; i += knnQBlock {
+			qn := hi - i
+			if qn > knnQBlock {
+				qn = knnQBlock
+			}
+			k.scanQueries(x, ws, i, qn, n, d)
+			for s := 0; s < qn; s++ {
+				dist := ws.dist[s*n : s*n+n]
+				cands := ws.cands
+				for t := range cands {
+					cands[t] = knnCand{dist: dist[t], label: k.y[t]}
+				}
+				sort.Sort(knnByDist(cands))
+				votes := make([]float64, k.classes)
+				for _, c := range cands[:kk] {
+					w := 1.0
+					if k.Params.DistanceWeighted {
+						w = 1 / (1e-9 + c.dist)
+					}
+					votes[c.label] += w
+				}
+				normalizeInPlace(votes)
+				out[i+s] = votes
 			}
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
-		votes := make([]float64, k.classes)
-		for _, c := range cands[:kk] {
-			w := 1.0
-			if k.Params.DistanceWeighted {
-				w = 1 / (1e-9 + c.dist)
-			}
-			votes[c.label] += w
-		}
-		normalizeInPlace(votes)
-		out[i] = votes
-	}
+	})
 	scanCost := float64(m) * float64(n) * (3*float64(d) + 15)
 	return out, Cost{Generic: scanCost}
+}
+
+// scanQueries accumulates squared distances from queries [i, i+qn) to
+// every memorized row into ws.dist (one stacked row per query). The
+// feature loop is outermost, so every (query, train) pair adds its
+// per-feature terms in ascending feature order — the bit-identity
+// invariant — while each training value is loaded once per query block
+// instead of once per query.
+func (k *KNN) scanQueries(x tabular.View, ws *knnWorker, i, qn, n, d int) {
+	clear(ws.dist[:qn*n])
+	for j := 0; j < d; j++ {
+		col := k.cols[j]
+		for s := 0; s < qn; s++ {
+			ws.q[s] = x.At(i+s, j)
+		}
+		switch qn {
+		case knnQBlock:
+			// Full block: one pass over the column feeds eight
+			// independent accumulation streams (no cross-iteration
+			// dependency chains), with full-capacity sub-slices lifting
+			// the bounds checks out of the inner loop.
+			d0 := ws.dist[0*n : 0*n+n : 0*n+n]
+			d1 := ws.dist[1*n : 1*n+n : 1*n+n]
+			d2 := ws.dist[2*n : 2*n+n : 2*n+n]
+			d3 := ws.dist[3*n : 3*n+n : 3*n+n]
+			d4 := ws.dist[4*n : 4*n+n : 4*n+n]
+			d5 := ws.dist[5*n : 5*n+n : 5*n+n]
+			d6 := ws.dist[6*n : 6*n+n : 6*n+n]
+			d7 := ws.dist[7*n : 7*n+n : 7*n+n]
+			q0, q1, q2, q3 := ws.q[0], ws.q[1], ws.q[2], ws.q[3]
+			q4, q5, q6, q7 := ws.q[4], ws.q[5], ws.q[6], ws.q[7]
+			for t, v := range col {
+				f0, f1, f2, f3 := v-q0, v-q1, v-q2, v-q3
+				f4, f5, f6, f7 := v-q4, v-q5, v-q6, v-q7
+				d0[t] += f0 * f0
+				d1[t] += f1 * f1
+				d2[t] += f2 * f2
+				d3[t] += f3 * f3
+				d4[t] += f4 * f4
+				d5[t] += f5 * f5
+				d6[t] += f6 * f6
+				d7[t] += f7 * f7
+			}
+		default:
+			for s := 0; s < qn; s++ {
+				q := ws.q[s]
+				dist := ws.dist[s*n : s*n+n : s*n+n]
+				for t, v := range col {
+					diff := v - q
+					dist[t] += diff * diff
+				}
+			}
+		}
+	}
 }
 
 // Clone implements Classifier.

@@ -329,18 +329,16 @@ func (tc *treeCore) orderByFeature(lo, hi, f int) []int32 {
 	order := s.order[:m]
 	if tc.classes > 0 && m*ceilLog2(m) > s.n {
 		sorted := s.ensureSorted(f)
+		st := s.nextStamp()
 		for _, i := range s.idx[lo:hi] {
-			s.inNode[i] = true
+			s.nodeStamp[i] = st
 		}
 		k := 0
 		for _, i := range sorted {
-			if s.inNode[i] {
+			if s.nodeStamp[i] == st {
 				order[k] = i
 				k++
 			}
-		}
-		for _, i := range s.idx[lo:hi] {
-			s.inNode[i] = false
 		}
 		return order
 	}
@@ -568,18 +566,30 @@ func (t *TreeClassifier) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) {
 	return t.core.cost, nil
 }
 
-// PredictProba implements Classifier.
+// PredictProba implements Classifier. Rows traverse independently, so
+// row blocks run in parallel under the package Parallelism knob:
+// output rows are disjoint slots, and the per-block visit counts are
+// integer-valued floats whose block-order reduction is exact — the
+// Cost matches the sequential walk bit for bit.
 func (t *TreeClassifier) PredictProba(x tabular.View) ([][]float64, Cost) {
 	n := x.Rows()
 	if !t.fitted {
 		return uniformProba(n, max(t.core.classes, 2)), Cost{}
 	}
 	out := make([][]float64, n) //greenlint:allow rowmajor proba output rows, class-wide not feature-wide
+	blockVisits := make([]float64, rowBlockCount(n))
+	runRowBlocks(n, func(_, b, lo, hi int) {
+		var visits float64
+		for i := lo; i < hi; i++ {
+			leaf, v := t.core.traverse(x, i)
+			visits += v
+			out[i] = leaf.proba
+		}
+		blockVisits[b] = visits
+	})
 	var visits float64
-	for i := 0; i < n; i++ {
-		leaf, v := t.core.traverse(x, i)
+	for _, v := range blockVisits {
 		visits += v
-		out[i] = leaf.proba
 	}
 	return out, Cost{Tree: 2 * visits}
 }
@@ -625,18 +635,27 @@ func (t *TreeRegressor) FitReg(x tabular.View, y []float64, rng *rand.Rand) (Cos
 	return t.core.cost, nil
 }
 
-// PredictReg implements Regressor.
+// PredictReg implements Regressor. Row blocks run in parallel with
+// block-slot visit counts, exactly like TreeClassifier.PredictProba.
 func (t *TreeRegressor) PredictReg(x tabular.View) ([]float64, Cost) {
 	n := x.Rows()
 	out := make([]float64, n)
 	if !t.fitted {
 		return out, Cost{}
 	}
+	blockVisits := make([]float64, rowBlockCount(n))
+	runRowBlocks(n, func(_, b, lo, hi int) {
+		var visits float64
+		for i := lo; i < hi; i++ {
+			leaf, v := t.core.traverse(x, i)
+			visits += v
+			out[i] = leaf.value
+		}
+		blockVisits[b] = visits
+	})
 	var visits float64
-	for i := 0; i < n; i++ {
-		leaf, v := t.core.traverse(x, i)
+	for _, v := range blockVisits {
 		visits += v
-		out[i] = leaf.value
 	}
 	return out, Cost{Tree: 2 * visits}
 }

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -48,10 +49,15 @@ type treeScratch struct {
 	// contiguous [lo, hi) range, split in place by partitioning.
 	idx []int32
 	// order is the per-split sort/filter scratch, part the partition
-	// spill buffer, inNode the membership mask for presorted filtering.
-	order  []int32
-	part   []int32
-	inNode []bool
+	// spill buffer. nodeStamp is the epoch-stamped membership mask for
+	// presorted filtering: rows of the current node carry the current
+	// stamp, so each filter pass needs one store per member instead of a
+	// set-and-clear round trip over the node (stale stamps from earlier
+	// nodes or earlier pooled fits can never equal a fresh stamp).
+	order     []int32
+	part      []int32
+	nodeStamp []int32
+	stamp     int32
 	// perm is the feature-subset permutation scratch.
 	perm []int
 	// left/right/all are class-count scratch for split scoring.
@@ -80,10 +86,7 @@ func getTreeScratch(n, d, classes int, needGather bool) *treeScratch {
 	s.idx = sizedI32(s.idx, n)
 	s.order = sizedI32(s.order, n)
 	s.part = sizedI32(s.part, n)
-	s.inNode = sizedBool(s.inNode, n)
-	for i := range s.inNode {
-		s.inNode[i] = false
-	}
+	s.nodeStamp = sizedI32(s.nodeStamp, n)
 	s.perm = sizedInt(s.perm, d)
 	s.left = sizedF64(s.left, classes)
 	s.right = sizedF64(s.right, classes)
@@ -101,6 +104,17 @@ func putTreeScratch(s *treeScratch) {
 
 // col returns the working column of feature f.
 func (s *treeScratch) col(f int) []float64 { return s.colref[f] }
+
+// nextStamp advances the membership epoch, recycling the stamp space on
+// the (practically unreachable) int32 wrap.
+func (s *treeScratch) nextStamp() int32 {
+	if s.stamp == math.MaxInt32 {
+		clear(s.nodeStamp)
+		s.stamp = 0
+	}
+	s.stamp++
+	return s.stamp
+}
 
 // ensureSorted builds the presorted index list of feature f on first use.
 // The sort is deterministic (pdqsort on a fixed input), so the presorted

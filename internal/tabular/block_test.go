@@ -1,0 +1,178 @@
+package tabular
+
+import "testing"
+
+// blockFrame builds an n×d frame with distinct cell values
+// (100*j + i) so gathered ranges are checkable by value.
+func blockFrame(n, d int) *Frame {
+	f := NewFrame("blocks", n, d)
+	f.Classes = 2
+	f.Y = make([]int, n)
+	for j := 0; j < d; j++ {
+		for i := 0; i < n; i++ {
+			f.Cols[j][i] = float64(100*j + i)
+		}
+	}
+	return f
+}
+
+// TestBlocksCoverage sweeps row counts across every len%8 remainder
+// (plus empty and single-row views) and checks the block grid: ascending
+// contiguous ranges, at most size rows each, final block carrying the
+// remainder, every row covered exactly once.
+func TestBlocksCoverage(t *testing.T) {
+	f := blockFrame(26, 1)
+	for n := 0; n <= 25; n++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		v := f.All().Select(idx)
+		prev := 0
+		covered := 0
+		v.Blocks(BlockSize, func(lo, hi int) {
+			if lo != prev {
+				t.Fatalf("n=%d: block starts at %d, want %d (ascending contiguous)", n, lo, prev)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d: empty block [%d,%d)", n, lo, hi)
+			}
+			if hi-lo > BlockSize {
+				t.Fatalf("n=%d: block [%d,%d) wider than size %d", n, lo, hi, BlockSize)
+			}
+			if hi < n && hi-lo != BlockSize {
+				t.Fatalf("n=%d: non-final block [%d,%d) is not full", n, lo, hi)
+			}
+			covered += hi - lo
+			prev = hi
+		})
+		if covered != n {
+			t.Fatalf("n=%d: blocks covered %d rows", n, covered)
+		}
+	}
+}
+
+// TestBlocksEmptyView checks a zero-row view yields no calls — for both
+// the empty-subset and the zero-size-defaulting paths.
+func TestBlocksEmptyView(t *testing.T) {
+	v := blockFrame(5, 1).All().Select([]int{})
+	for _, size := range []int{BlockSize, 0, -3} {
+		calls := 0
+		v.Blocks(size, func(lo, hi int) { calls++ })
+		if calls != 0 {
+			t.Fatalf("size=%d: empty view produced %d block calls", size, calls)
+		}
+	}
+}
+
+// TestBlocksSingleRow checks the minimal non-empty view is one block.
+func TestBlocksSingleRow(t *testing.T) {
+	v := blockFrame(5, 1).All().Select([]int{3})
+	var got [][2]int
+	v.Blocks(BlockSize, func(lo, hi int) { got = append(got, [2]int{lo, hi}) })
+	if len(got) != 1 || got[0] != [2]int{0, 1} {
+		t.Fatalf("single-row view blocks = %v, want [[0 1]]", got)
+	}
+}
+
+// TestBlocksSizeDefault checks non-positive sizes fall back to
+// BlockSize rather than looping forever or panicking.
+func TestBlocksSizeDefault(t *testing.T) {
+	v := blockFrame(20, 1).All()
+	for _, size := range []int{0, -1} {
+		var bounds [][2]int
+		v.Blocks(size, func(lo, hi int) { bounds = append(bounds, [2]int{lo, hi}) })
+		want := [][2]int{{0, 8}, {8, 16}, {16, 20}}
+		if len(bounds) != len(want) {
+			t.Fatalf("size=%d: %d blocks, want %d", size, len(bounds), len(want))
+		}
+		for i := range want {
+			if bounds[i] != want[i] {
+				t.Fatalf("size=%d: block %d = %v, want %v", size, i, bounds[i], want[i])
+			}
+		}
+	}
+}
+
+// TestColRangeIdentityAliases checks the contiguous fast path: an
+// identity view's ColRange is a zero-copy subslice of the frame column
+// regardless of the dst passed in.
+func TestColRangeIdentityAliases(t *testing.T) {
+	f := blockFrame(16, 2)
+	v := f.All()
+	dst := make([]float64, 4)
+	got := v.ColRange(1, 3, 9, dst)
+	if len(got) != 6 {
+		t.Fatalf("ColRange length %d, want 6", len(got))
+	}
+	if &got[0] != &f.Cols[1][3] {
+		t.Error("identity ColRange copied; want an alias of the frame column")
+	}
+	for i, x := range got {
+		if x != float64(100+3+i) {
+			t.Fatalf("ColRange[%d] = %v, want %v", i, x, float64(100+3+i))
+		}
+	}
+}
+
+// TestColRangePermutedGathers checks the subset path on a permuted
+// non-contiguous view: values come back in view order, and a dst with
+// capacity is reused instead of reallocated.
+func TestColRangePermutedGathers(t *testing.T) {
+	f := blockFrame(10, 2)
+	idx := []int{7, 2, 9, 0, 5, 1}
+	v := f.All().Select(idx)
+	dst := make([]float64, 8)
+	got := v.ColRange(1, 1, 5, dst)
+	if len(got) != 4 {
+		t.Fatalf("ColRange length %d, want 4", len(got))
+	}
+	if &got[0] != &dst[0] {
+		t.Error("ColRange reallocated despite sufficient dst capacity")
+	}
+	for i, r := range idx[1:5] {
+		if got[i] != float64(100+r) {
+			t.Fatalf("ColRange[%d] = %v, want row %d's value %v", i, got[i], r, float64(100+r))
+		}
+	}
+	// Undersized dst grows rather than panicking.
+	grown := v.ColRange(1, 0, 6, make([]float64, 0, 2))
+	if len(grown) != 6 {
+		t.Fatalf("grown ColRange length %d, want 6", len(grown))
+	}
+}
+
+// TestColRangeBlocksMatchColInto stitches ColRange over the Blocks grid
+// and demands the concatenation equal ColInto's full gather, on empty,
+// single-row, remainder-lengthed and permuted views — the exact access
+// pattern of the unrolled kernels.
+func TestColRangeBlocksMatchColInto(t *testing.T) {
+	f := blockFrame(21, 3)
+	views := map[string]View{
+		"identity":  f.All(),
+		"empty":     f.All().Select([]int{}),
+		"single":    f.All().Select([]int{13}),
+		"remainder": f.All().Head(17),
+		"permuted":  f.All().Select([]int{20, 3, 15, 7, 0, 11, 19, 2, 8, 16, 4}),
+	}
+	for name, v := range views {
+		t.Run(name, func(t *testing.T) {
+			for j := 0; j < f.Features(); j++ {
+				want := v.ColInto(j, nil)
+				var got []float64
+				scratch := make([]float64, BlockSize)
+				v.Blocks(BlockSize, func(lo, hi int) {
+					got = append(got, v.ColRange(j, lo, hi, scratch)...)
+				})
+				if len(got) != len(want) {
+					t.Fatalf("feature %d: stitched %d values, want %d", j, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("feature %d row %d: ColRange stitch %v != ColInto %v", j, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -232,6 +232,51 @@ func (v View) Label(i int) int {
 	return v.f.Y[i]
 }
 
+// BlockSize is the row-block width the unrolled ml kernels consume:
+// hot loops process rows eight at a time with an explicit remainder
+// tail, matching the 8-wide unrolled accumulation in internal/ml.
+const BlockSize = 8
+
+// Blocks invokes fn(lo, hi) over consecutive row ranges of the view, at
+// most size rows each, in ascending order; the final block carries the
+// remainder. An empty view yields no calls. Block boundaries depend
+// only on the row count, so per-block accumulations reduce in the same
+// order no matter who executes the blocks.
+func (v View) Blocks(size int, fn func(lo, hi int)) {
+	if size < 1 {
+		size = BlockSize
+	}
+	n := v.Rows()
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}
+
+// ColRange returns feature j's values for view rows [lo, hi) in view
+// order. An identity view aliases the frame column's subslice without
+// copying; a subset view gathers the range into dst (grown if needed).
+// Callers must not mutate the result. This is the block-granular
+// sibling of ColInto, sized for the unrolled kernels' working sets.
+func (v View) ColRange(j, lo, hi int, dst []float64) []float64 {
+	col := v.f.Cols[j]
+	if v.idx == nil {
+		return col[lo:hi]
+	}
+	m := hi - lo
+	if cap(dst) < m {
+		dst = make([]float64, m)
+	}
+	dst = dst[:m]
+	for i, r := range v.idx[lo:hi] {
+		dst[i] = col[r]
+	}
+	return dst
+}
+
 // ColInto returns feature j's values in view order. An identity view
 // aliases the frame column without copying; a subset view gathers into
 // dst (grown if needed). Callers must not mutate the result.

@@ -19,6 +19,13 @@
 # (internal/bench/coordinator.go). The reason must say why the site
 # cannot influence recorded results.
 #
+# Goroutine launches in internal/ml are likewise rejected unless they
+# carry "//greenlint:allow reduceorder <reason>" arguing the sanctioned
+# reduction order (disjoint item-addressed slots, caller-side reduce in
+# slot order — see internal/ml/parallel.go and the "Kernel execution"
+# section of DESIGN.md); writes to captured variables from inside such
+# goroutines need their own annotation.
+#
 # Usage: scripts/lint.sh
 set -eu
 
