@@ -4,37 +4,69 @@
 //
 // Usage:
 //
-//	go run ./cmd/greenlint ./...
+//	go run ./cmd/greenlint [-checks list] [-format text|json] ./...
 //
-// Findings print one per line as "file:line: [check] message". Exit
-// status: 0 clean, 1 findings, 2 the tree could not be loaded.
+// Findings print one per line as "file:line: [check] message", or as a
+// JSON array of {file, line, column, check, message} records with
+// -format json (the shape the CI problem matcher and editor
+// integrations consume). -checks restricts the run to a comma-separated
+// subset of analyzers so a single check can be iterated on without
+// paying full-sweep cost. Exit status: 0 clean, 1 findings, 2 the tree
+// could not be loaded or the flags were invalid.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/greenlint"
 )
 
+// jsonFinding is the stable machine-readable record shape; field order
+// and names are contract with .github/greenlint-problem-matcher.json.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 func main() {
 	verbose := flag.Bool("v", false, "print type-check warnings and a per-check summary")
+	format := flag.String("format", "text", "output format: text or json")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: greenlint [-v] [packages]\n\nChecks:\n")
+		fmt.Fprintf(os.Stderr, "usage: greenlint [-v] [-checks list] [-format text|json] [packages]\n\nChecks:\n")
 		for _, a := range greenlint.Analyzers {
-			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "greenlint: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	var checkList []string
+	if *checks != "" {
+		for _, c := range strings.Split(*checks, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				checkList = append(checkList, c)
+			}
+		}
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, warnings, err := greenlint.Run(patterns)
+	findings, warnings, err := greenlint.RunChecks(patterns, checkList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "greenlint:", err)
 		os.Exit(2)
@@ -46,14 +78,33 @@ func main() {
 	}
 	cwd, _ := os.Getwd()
 	counts := make(map[string]int)
+	records := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
 				f.Pos.Filename = rel
 			}
 		}
-		fmt.Println(f)
+		if *format == "json" {
+			records = append(records, jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Check:   f.Check,
+				Message: f.Msg,
+			})
+		} else {
+			fmt.Println(f)
+		}
 		counts[f.Check]++
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(os.Stderr, "greenlint:", err)
+			os.Exit(2)
+		}
 	}
 	if len(findings) > 0 {
 		if *verbose {

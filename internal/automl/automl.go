@@ -113,10 +113,12 @@ func (r *Result) PredictProba(x tabular.View, meter *energy.Meter) ([][]float64,
 		return nil, fmt.Errorf("automl: %s produced no predictor", r.System)
 	}
 	proba, cost := r.Predictor.PredictProba(x)
+	// Charge before the nil check: the predictor spent the compute
+	// whether or not it produced usable probabilities.
+	chargeCost(meter, energy.Inference, cost, 0)
 	if proba == nil {
 		return nil, fmt.Errorf("automl: %s predictor returned no probabilities", r.System)
 	}
-	chargeCost(meter, energy.Inference, cost, 0)
 	return proba, nil
 }
 

@@ -408,3 +408,27 @@ func TestChargeCostCappedEdgeCases(t *testing.T) {
 		t.Errorf("clock at %v, want 1s", got)
 	}
 }
+
+// nilProbaPredictor spends inference compute but returns no
+// probabilities — the failure mode whose energy must still be metered.
+type nilProbaPredictor struct{}
+
+func (nilProbaPredictor) PredictProba(tabular.View) ([][]float64, ml.Cost) {
+	return nil, ml.Cost{Generic: 1e6}
+}
+
+func TestPredictProbaChargesInferenceOnNilProba(t *testing.T) {
+	r := &Result{System: "stub", Predictor: nilProbaPredictor{}}
+	meter := energy.NewMeter(hw.XeonGold6132(), 1)
+	spec, ok := openml.ByName("phoneme")
+	if !ok {
+		t.Fatal("dataset phoneme missing")
+	}
+	x := openml.Generate(spec, openml.SmallScale(), 4).All()
+	if _, err := r.PredictProba(x, meter); err == nil {
+		t.Fatal("nil probabilities did not surface an error")
+	}
+	if kwh := meter.Tracker().KWh(energy.Inference); kwh <= 0 {
+		t.Errorf("inference energy %v on the nil-proba error path, want > 0", kwh)
+	}
+}

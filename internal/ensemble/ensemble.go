@@ -232,6 +232,9 @@ func FitBagged(proto func() *pipeline.Pipeline, ds tabular.View, k int, foldSeed
 		p := proto()
 		cost, err := p.Fit(train, rng)
 		if err != nil {
+			// The failed fold still spent compute up to the failure;
+			// hand its partial cost back so the caller meters it.
+			costs = append(costs, cost)
 			return nil, costs, fmt.Errorf("ensemble: bagged fold %d: %w", f, err)
 		}
 		proba, predCost := p.PredictProba(val)

@@ -1,6 +1,7 @@
 package ensemble
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -284,5 +285,37 @@ func TestStackFeatures(t *testing.T) {
 	// The original rows are not mutated.
 	if len(x[0]) != 2 {
 		t.Error("StackFeatures mutated its input")
+	}
+}
+
+// costlyFailingModel spends compute and then fails — the shape of a fit
+// that dies mid-training after burning real energy.
+type costlyFailingModel struct{}
+
+func (costlyFailingModel) Fit(tabular.View, *rand.Rand) (ml.Cost, error) {
+	return ml.Cost{Generic: 42}, errors.New("fit boom")
+}
+func (costlyFailingModel) PredictProba(tabular.View) ([][]float64, ml.Cost) { return nil, ml.Cost{} }
+func (costlyFailingModel) Clone() ml.Classifier                             { return costlyFailingModel{} }
+func (costlyFailingModel) Name() string                                     { return "costly_failing" }
+func (costlyFailingModel) ParallelFrac() float64                            { return 0 }
+
+func TestFitBaggedReturnsPartialCostOnFoldFailure(t *testing.T) {
+	ds := blob(30, testRNG(11))
+	proto := func() *pipeline.Pipeline {
+		return &pipeline.Pipeline{Model: costlyFailingModel{}}
+	}
+	bag, costs, err := FitBagged(proto, ds.View(), 3, 7, testRNG(12))
+	if err == nil {
+		t.Fatal("failing fold did not surface an error")
+	}
+	if bag != nil {
+		t.Error("failed bagging returned a bag")
+	}
+	if len(costs) != 1 {
+		t.Fatalf("got %d fold costs, want the failed fold's partial cost", len(costs))
+	}
+	if costs[0].Generic != 42 {
+		t.Errorf("partial cost %v, want the compute the failed fit spent (42)", costs[0].Generic)
 	}
 }

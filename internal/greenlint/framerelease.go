@@ -1,0 +1,660 @@
+package greenlint
+
+// framerelease enforces the linear release discipline of pooled frames
+// (PR 5): memory obtained from tabular.NewPooledFrame is owned by
+// exactly one party, and that party must hand it back — `Release` on
+// every path, including the early error return — or pass the obligation
+// on, explicitly. Nothing else keeps the slab pool honest: a leaked
+// frame is not a crash, it is a silently colder pool and a
+// quietly-regressing allocs/op number two PRs later.
+//
+// The analysis is an intraprocedural forward dataflow over the CFG,
+// with a package-local call graph propagating one interprocedural fact:
+// "this function returns an owned frame" (so preprocess.outputFrame's
+// callers inherit the obligation NewPooledFrame created inside it).
+// Each tracked variable carries a set of path-states:
+//
+//	Owned     — obligation live, no release scheduled
+//	Deferred  — obligation live, `defer x.Release()` registered
+//	Released  — Release already ran on this path
+//	Escaped   — ownership left this function (returned, stored,
+//	            captured, or passed to a //greenlint:owns function)
+//
+// joined by set union at merges, so "released on the happy path, still
+// owned on the error path" is visible as {Released, Owned} and reported
+// as a possible leak. The checks:
+//
+//   - leak: a normal exit reachable with Owned in the state set (panic
+//     exits are exempt — defers still run there, and a dying process is
+//     not a pool-health problem);
+//   - double release: Release (or a second defer of it) on a path-state
+//     that is already Released or Deferred;
+//   - use after release: any read of the variable while Released is a
+//     possible path-state (reads under Deferred are fine — the deferred
+//     call runs at exit, after every use);
+//   - dropped result: a source call whose owned result is never bound,
+//     returned, or passed to an owning function.
+//
+// Ownership transfers OUT of the analyzed function two ways, mirroring
+// DESIGN.md's ownership model: the frame (or a view of it — a method
+// call on the owned variable counts, so `return out.All()` transfers)
+// appears in a return statement, or the variable is passed to a
+// function annotated `//greenlint:owns <reason>`. Aliasing a frame into
+// another variable, a field, a slice or a closure ends tracking
+// conservatively (Escaped) rather than guessing — the analyzer promises
+// no false leaks over clever code, and the golden fixtures pin what it
+// does promise.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const (
+	frOwned    uint8 = 1 << iota // obligation live
+	frDeferred                   // obligation live, deferred release registered
+	frReleased                   // released on this path
+	frEscaped                    // ownership transferred; tracking over
+)
+
+// FrameRelease is the pooled-frame ownership analyzer.
+var FrameRelease = &Analyzer{
+	Name: "framerelease",
+	Doc:  "pooled frames from tabular.NewPooledFrame must reach Release on every path, exactly once, or transfer ownership (return / //greenlint:owns)",
+	Run:  runFrameRelease,
+}
+
+// tabularPkg reports whether pkg is the tabular package (matched by
+// path suffix so the real package and module-internal mirrors agree).
+func tabularPkg(pkg *types.Package) bool {
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "internal/tabular")
+}
+
+// isFrameCarrier reports whether t is *tabular.Frame or tabular.View —
+// the two shapes an ownership obligation travels in.
+func isFrameCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if !tabularPkg(obj.Pkg()) {
+		return false
+	}
+	return obj.Name() == "Frame" || obj.Name() == "View"
+}
+
+// isNewPooledFrame reports whether fn is tabular.NewPooledFrame.
+func isNewPooledFrame(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "NewPooledFrame" && tabularPkg(fn.Pkg())
+}
+
+// isReleaseMethod reports whether fn is (*tabular.Frame).Release.
+func isReleaseMethod(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Release" && tabularPkg(fn.Pkg())
+}
+
+// frameAnalysis carries the per-package state of one framerelease run.
+type frameAnalysis struct {
+	p *Pass
+	// ownerFns are package-local functions whose return value carries
+	// an owned frame — calling one is an ownership source, exactly like
+	// calling NewPooledFrame.
+	ownerFns map[*types.Func]bool
+	// ownsFns are functions annotated //greenlint:owns — passing a
+	// tracked frame to one transfers the release obligation.
+	ownsFns map[*types.Func]bool
+	// reported dedups findings across solver and report passes.
+	reported map[string]bool
+}
+
+func runFrameRelease(p *Pass) {
+	a := &frameAnalysis{
+		p:        p,
+		ownerFns: map[*types.Func]bool{},
+		ownsFns:  map[*types.Func]bool{},
+		reported: map[string]bool{},
+	}
+	attached, _ := funcDirectives(p)
+	for _, fd := range attached {
+		if fd.verb == "owns" {
+			a.ownsFns[fd.fn] = true
+		}
+	}
+
+	// Fixpoint on the owner-returning set: a function that returns a
+	// variable bound to a source call (or a source call directly, or a
+	// view derived from an owned variable) passes the obligation to its
+	// caller. Syntactic, monotone, and package-local, so a handful of
+	// sweeps settles it.
+	for {
+		changed := false
+		for _, f := range p.Pkg.Files {
+			if a.isTestFile(f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || a.ownerFns[obj] {
+					continue
+				}
+				if a.returnsOwned(fd) {
+					a.ownerFns[obj] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Analysis proper: every function declaration and every function
+	// literal gets its own CFG and solve.
+	for _, f := range p.Pkg.Files {
+		if a.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					a.checkBody(fn.Body)
+				}
+			case *ast.FuncLit:
+				a.checkBody(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+func (a *frameAnalysis) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(a.p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// isSourceCall reports whether call's result carries a fresh ownership
+// obligation.
+func (a *frameAnalysis) isSourceCall(call *ast.CallExpr) bool {
+	fn := a.p.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	return isNewPooledFrame(fn) || a.ownerFns[fn]
+}
+
+// returnsOwned reports whether fd's return statements hand out a frame
+// that fd itself owns: a source call returned directly, or a variable
+// bound to one (possibly wrapped through a method call like .All()).
+func (a *frameAnalysis) returnsOwned(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	carriesFrame := false
+	for _, r := range fd.Type.Results.List {
+		if isFrameCarrier(a.p.typeOf(r.Type)) {
+			carriesFrame = true
+		}
+	}
+	if !carriesFrame {
+		return false
+	}
+	ownedVars := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !a.isSourceCall(call) {
+					continue
+				}
+				if len(as.Lhs) == len(as.Rhs) {
+					if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						if obj := a.defOrUse(id); obj != nil {
+							ownedVars[obj] = true
+						}
+					}
+				} else if len(as.Rhs) == 1 {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+							if obj := a.defOrUse(id); obj != nil && isFrameCarrier(obj.Type()) {
+								ownedVars[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					if a.isSourceCall(m) {
+						found = true
+					}
+				case *ast.Ident:
+					if obj := a.defOrUse(m); obj != nil && ownedVars[obj] {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func (a *frameAnalysis) defOrUse(id *ast.Ident) types.Object {
+	if obj := a.p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return a.p.Pkg.Info.Uses[id]
+}
+
+// checkBody solves the ownership dataflow over one function body and
+// reports violations.
+func (a *frameAnalysis) checkBody(body *ast.BlockStmt) {
+	cfg := BuildCFG(body, nil)
+
+	// Bind each tracked variable to the source call that created its
+	// obligation, for leak messages.
+	srcPos := map[any]token.Pos{}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !a.isSourceCall(call) {
+					continue
+				}
+				for _, obj := range a.boundVars(as, i, call) {
+					srcPos[obj] = call.Pos()
+				}
+			}
+		}
+	}
+
+	lat := varLattice{}
+	transfer := func(blk *Block, in Fact) Fact {
+		st := in.(varState).clone()
+		for _, n := range blk.Nodes {
+			st = a.step(n, st, nil)
+		}
+		return st
+	}
+	sol, err := SolveForward(cfg, lat, varState{}, transfer)
+	if err != nil {
+		// A solver failure is a bug in this package, not in the code
+		// under analysis; surface it loudly at the function head.
+		a.p.Reportf(body.Pos(), "internal error: %v", err)
+		return
+	}
+
+	// Report pass: one walk per block against its fixed in-fact.
+	for _, blk := range cfg.Blocks {
+		st := sol.In[blk].(varState).clone()
+		for _, n := range blk.Nodes {
+			st = a.step(n, st, func(pos token.Pos, format string, args ...any) {
+				a.reportOnce(pos, format, args...)
+			})
+		}
+	}
+
+	// Exit obligations: Owned without Deferred on some path = leak.
+	exitState := sol.In[cfg.Exit].(varState)
+	for obj, mask := range exitState {
+		if mask&frOwned != 0 {
+			pos, ok := srcPos[obj]
+			if !ok {
+				continue
+			}
+			name := "frame"
+			if o, ok := obj.(types.Object); ok {
+				name = o.Name()
+			}
+			a.reportOnce(pos,
+				"pooled frame %q may leak: not Released (or ownership-transferred) on every path to return; release it, return it, or pass it to a //greenlint:owns function", name)
+		}
+	}
+}
+
+func (a *frameAnalysis) reportOnce(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if a.reported[key] {
+		return
+	}
+	a.reported[key] = true
+	a.p.Reportf(pos, "%s", msg)
+}
+
+// boundVars resolves which variables an assignment binds to the source
+// call at Rhs[i]: the positional LHS for 1:1 assignments, or every
+// frame-carrying LHS of a multi-value unpacking.
+func (a *frameAnalysis) boundVars(as *ast.AssignStmt, i int, call *ast.CallExpr) []types.Object {
+	var out []types.Object
+	if len(as.Lhs) == len(as.Rhs) {
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+			if obj := a.defOrUse(id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+		return out
+	}
+	if len(as.Rhs) == 1 {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := a.defOrUse(id); obj != nil && isFrameCarrier(obj.Type()) {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+type frameReporter func(pos token.Pos, format string, args ...any)
+
+// step applies one atomic node to the ownership state. rep is nil
+// during fixpoint solving and non-nil during the report pass.
+func (a *frameAnalysis) step(n ast.Node, st varState, rep frameReporter) varState {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return a.stepAssign(n, st, rep)
+
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					st = a.stepExpr(v, st, rep)
+					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok && a.isSourceCall(call) {
+						// var x = NewPooledFrame(...): bind like :=
+						if len(vs.Names) == 1 && vs.Names[0].Name != "_" {
+							if obj := a.defOrUse(vs.Names[0]); obj != nil {
+								st[obj] = frOwned
+							}
+						} else if rep != nil {
+							rep(call.Pos(), "owned frame from %s is dropped; bind it so it can be Released", callName(call))
+						}
+					}
+				}
+			}
+		}
+		return st
+
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			return a.stepCallStmt(call, st, rep, false)
+		}
+		return a.stepExpr(n.X, st, rep)
+
+	case *ast.DeferStmt:
+		return a.stepCallStmt(n.Call, st, rep, true)
+
+	case *ast.GoStmt:
+		return a.stepCallStmt(n.Call, st, rep, false)
+
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			st = a.stepExpr(res, st, rep)
+			// Everything reachable from a return expression transfers.
+			for _, obj := range a.trackedIdentsIn(res, st) {
+				st[obj] = frEscaped
+			}
+		}
+		return st
+
+	case *ast.SendStmt:
+		st = a.stepExpr(n.Chan, st, rep)
+		st = a.stepExpr(n.Value, st, rep)
+		for _, obj := range a.trackedIdentsIn(n.Value, st) {
+			st[obj] = frEscaped
+		}
+		return st
+
+	case *ast.IncDecStmt:
+		return a.stepExpr(n.X, st, rep)
+
+	case ast.Expr:
+		return a.stepExpr(n, st, rep)
+	}
+	return st
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// stepAssign handles uses, escapes, overwrites and new bindings.
+func (a *frameAnalysis) stepAssign(as *ast.AssignStmt, st varState, rep frameReporter) varState {
+	// RHS first: uses, escapes-by-alias, and nested source calls.
+	for _, rhs := range as.Rhs {
+		st = a.stepExpr(rhs, st, rep)
+		// Aliasing: assigning the tracked variable itself, or a frame
+		// view derived from it, moves ownership somewhere we cannot
+		// see. End tracking.
+		switch e := ast.Unparen(rhs).(type) {
+		case *ast.Ident:
+			if obj := a.tracked(e, st); obj != nil {
+				st[obj] = frEscaped
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && isFrameCarrier(a.p.typeOf(e)) {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := a.tracked(id, st); obj != nil {
+						st[obj] = frEscaped
+					}
+				}
+			}
+		}
+	}
+	// LHS component expressions (index/selector bases) are reads too.
+	for _, lhs := range as.Lhs {
+		if _, ok := lhs.(*ast.Ident); !ok {
+			st = a.stepExpr(lhs, st, rep)
+		}
+	}
+	// Overwrites and fresh bindings.
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			// An owned result bound to _ is a drop.
+			if i < len(as.Rhs) || len(as.Rhs) == 1 {
+				rhs := as.Rhs[min(i, len(as.Rhs)-1)]
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && a.isSourceCall(call) && len(as.Lhs) == len(as.Rhs) {
+					if rep != nil {
+						rep(call.Pos(), "owned frame from %s is dropped (bound to _); bind it so it can be Released", callName(call))
+					}
+				}
+			}
+			continue
+		}
+		obj := a.defOrUse(id)
+		if obj == nil {
+			continue
+		}
+		if mask, ok := st[obj]; ok && mask&frOwned != 0 {
+			if rep != nil {
+				rep(id.Pos(), "pooled frame %q overwritten while still owned; Release it first", id.Name)
+			}
+		}
+		delete(st, obj)
+	}
+	// New obligations.
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !a.isSourceCall(call) {
+			continue
+		}
+		bound := a.boundVars(as, i, call)
+		if len(bound) == 0 {
+			if rep != nil {
+				rep(call.Pos(), "owned frame from %s is dropped; bind it so it can be Released", callName(call))
+			}
+			continue
+		}
+		for _, obj := range bound {
+			st[obj] = frOwned
+		}
+	}
+	return st
+}
+
+// stepCallStmt handles a call in statement position: Release calls,
+// ownership-taking callees, dropped source results, and ordinary uses.
+func (a *frameAnalysis) stepCallStmt(call *ast.CallExpr, st varState, rep frameReporter, deferred bool) varState {
+	// x.Release()
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, _ := a.p.Pkg.Info.Uses[sel.Sel].(*types.Func); isReleaseMethod(fn) {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := a.tracked(id, st); obj != nil {
+					mask := st[obj]
+					if mask&(frReleased|frDeferred) != 0 && rep != nil {
+						rep(call.Pos(), "pooled frame %q may be released twice (an earlier Release or deferred Release covers this path)", id.Name)
+					}
+					if deferred {
+						st[obj] = (mask &^ frOwned) | frDeferred
+					} else {
+						st[obj] = (mask &^ (frOwned | frDeferred)) | frReleased
+					}
+					return st
+				}
+			}
+		}
+	}
+	// Callee that takes ownership of its frame arguments.
+	if fn := a.p.calleeFunc(call); fn != nil && a.ownsFns[fn] {
+		st = a.stepExpr(call.Fun, st, rep)
+		for _, arg := range call.Args {
+			st = a.stepExpr(arg, st, rep)
+			for _, obj := range a.trackedIdentsIn(arg, st) {
+				st[obj] = frEscaped
+			}
+		}
+		return st
+	}
+	// A source call whose result is discarded leaks immediately.
+	if a.isSourceCall(call) && rep != nil {
+		rep(call.Pos(), "owned frame from %s is dropped; bind it so it can be Released", callName(call))
+	}
+	return a.stepExpr(call, st, rep)
+}
+
+// stepExpr walks an expression for reads of tracked variables (flagging
+// use-after-release) and for closures capturing them (escape). Function
+// literal bodies are not descended into beyond capture detection — they
+// run elsewhere and get their own CFG.
+func (a *frameAnalysis) stepExpr(e ast.Expr, st varState, rep frameReporter) varState {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			for _, obj := range a.capturedTracked(n, st) {
+				st[obj] = frEscaped
+			}
+			return false
+		case *ast.CallExpr:
+			// Nested source calls in expression position transfer to
+			// the surrounding expression; handled by callers where the
+			// context is known (assign/return). Keep walking for uses.
+			return true
+		case *ast.Ident:
+			if obj := a.tracked(n, st); obj != nil {
+				if st[obj]&frReleased != 0 && rep != nil {
+					rep(n.Pos(), "pooled frame %q may be used after Release on some path", n.Name)
+				}
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// tracked resolves id to a tracked variable, or nil.
+func (a *frameAnalysis) tracked(id *ast.Ident, st varState) types.Object {
+	obj := a.p.Pkg.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if _, ok := st[obj]; !ok {
+		return nil
+	}
+	return obj
+}
+
+// trackedIdentsIn collects tracked variables referenced anywhere in e
+// (skipping function-literal bodies).
+func (a *frameAnalysis) trackedIdentsIn(e ast.Expr, st varState) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := a.tracked(id, st); obj != nil {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedTracked lists tracked variables a function literal captures.
+func (a *frameAnalysis) capturedTracked(lit *ast.FuncLit, st varState) []types.Object {
+	var out []types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := a.p.Pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		if _, tracked := st[types.Object(obj)]; tracked {
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}

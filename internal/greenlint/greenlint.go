@@ -7,7 +7,7 @@
 // those cuts at review time instead of waiting for a regression test to
 // notice the bytes changed.
 //
-// Six analyzers run over every package:
+// Ten analyzers run over every package:
 //
 //   - wallclock: no time.Now/time.Since/time.Sleep — measured code must
 //     go through internal/vclock and internal/energy.
@@ -26,6 +26,20 @@
 //     make float reduction order (and the output bits) depend on
 //     scheduling; the sanctioned pattern is item-addressed slots reduced
 //     on the caller in slot order.
+//   - framerelease: CFG/dataflow linear-ownership check — a pooled frame
+//     from tabular.NewPooledFrame must reach Release on every path
+//     (early error returns included), exactly once, unless ownership is
+//     transferred by returning it or passing it to a //greenlint:owns
+//     function.
+//   - meteredcost: energy-accounting completeness — an ml.Cost returned
+//     by fit/predict compute must be charged, accumulated, or returned
+//     on every path; no compute path is free.
+//   - hotalloc: functions annotated //greenlint:hotpath, and their
+//     package-local callees, must not contain allocation-bearing
+//     constructs (make/new, slice/map literals, append, capturing
+//     closures, interface boxing).
+//   - unusedallow: //greenlint:allow directives that suppress nothing
+//     are themselves findings, so annotation debt cannot rot in place.
 //
 // Legitimate exceptions are annotated in the source, never silently
 // exempted:
@@ -36,7 +50,12 @@
 // the line immediately below it (so it can sit on the offending line or
 // on its own line just above). The reason is mandatory, and a directive
 // naming an unknown check is itself a finding — a typo must not turn
-// into a silent exemption.
+// into a silent exemption. Two further verbs attach to function
+// declarations (doc comment or the line directly above `func`) and are
+// grants rather than suppressions:
+//
+//	//greenlint:owns <reason>     — takes ownership of frame arguments
+//	//greenlint:hotpath <reason>  — must stay allocation-free
 package greenlint
 
 import (
@@ -73,7 +92,20 @@ type Analyzer struct {
 }
 
 // Analyzers is the full suite, in the order findings are attributed.
-var Analyzers = []*Analyzer{Wallclock, GlobalRand, MapOrder, WrapErr, RowMajor, ReduceOrder}
+var Analyzers = []*Analyzer{Wallclock, GlobalRand, MapOrder, WrapErr, RowMajor, ReduceOrder, FrameRelease, MeteredCost, HotAlloc, UnusedAllow}
+
+// UnusedAllow reports //greenlint:allow directives that suppress no
+// finding. It has no Run of its own: usedness falls out of the
+// suppression bookkeeping in lintPackage, after every enabled analyzer
+// has reported. An allow is audited only when its check actually ran
+// (under -checks filtering a skipped check's allows are unjudgeable),
+// and `allow unusedallow` directives are exempt — a directive cannot
+// meaningfully vouch for itself.
+var UnusedAllow = &Analyzer{
+	Name: "unusedallow",
+	Doc:  "//greenlint:allow directives must suppress at least one finding; stale ones are annotation debt and get deleted",
+	Run:  func(*Pass) {},
+}
 
 // DirectiveCheck is the pseudo-check name under which malformed
 // //greenlint: directives are reported.
@@ -128,8 +160,8 @@ func (p *Pass) typeOf(expr ast.Expr) types.Type {
 // directive is one parsed //greenlint: comment.
 type directive struct {
 	pos    token.Position
-	verb   string // "allow" is the only valid verb today
-	check  string
+	verb   string // allow, owns, or hotpath
+	check  string // allow only; owns/hotpath take no check name
 	reason string
 }
 
@@ -154,11 +186,19 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 				if len(fields) > 0 {
 					d.verb = fields[0]
 				}
-				if len(fields) > 1 {
-					d.check = fields[1]
-				}
-				if len(fields) > 2 {
-					d.reason = strings.Join(fields[2:], " ")
+				if d.verb == "owns" || d.verb == "hotpath" {
+					// Function-level grants: everything after the verb
+					// is the reason; there is no check operand.
+					if len(fields) > 1 {
+						d.reason = strings.Join(fields[1:], " ")
+					}
+				} else {
+					if len(fields) > 1 {
+						d.check = fields[1]
+					}
+					if len(fields) > 2 {
+						d.reason = strings.Join(fields[2:], " ")
+					}
 				}
 				out = append(out, d)
 			}
@@ -168,21 +208,36 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 }
 
 // validateDirectives turns malformed directives into findings: an
-// unknown verb, an unknown check name, or a missing reason must fail
-// the build rather than silently suppress nothing (or the wrong thing).
-func validateDirectives(dirs []directive) []Finding {
+// unknown verb, an unknown check name, a missing reason, or an
+// owns/hotpath grant that attaches to no function declaration must fail
+// the build rather than silently suppress (or grant) nothing — or the
+// wrong thing. dangling holds the positions of owns/hotpath directives
+// funcDirectives could not attach.
+func validateDirectives(dirs []directive, dangling map[token.Position]bool) []Finding {
 	var out []Finding
 	for _, d := range dirs {
-		switch {
-		case d.verb != "allow":
+		switch d.verb {
+		case "allow":
+			switch {
+			case !knownCheck(d.check):
+				out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
+					Msg: fmt.Sprintf("unknown check %q in //greenlint:allow (known checks: %s)", d.check, strings.Join(checkNames(), ", "))})
+			case d.reason == "":
+				out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
+					Msg: fmt.Sprintf("//greenlint:allow %s needs a reason — say why this site is exempt", d.check)})
+			}
+		case "owns", "hotpath":
+			switch {
+			case d.reason == "":
+				out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
+					Msg: fmt.Sprintf("//greenlint:%s needs a reason — say why this function holds the contract", d.verb)})
+			case dangling[d.pos]:
+				out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
+					Msg: fmt.Sprintf("//greenlint:%s attaches to no function declaration; put it in the doc comment or on the line directly above func", d.verb)})
+			}
+		default:
 			out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
-				Msg: fmt.Sprintf("unknown greenlint directive %q (only //greenlint:allow <check> <reason> is supported)", d.verb)})
-		case !knownCheck(d.check):
-			out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
-				Msg: fmt.Sprintf("unknown check %q in //greenlint:allow (known checks: %s)", d.check, strings.Join(checkNames(), ", "))})
-		case d.reason == "":
-			out = append(out, Finding{Pos: d.pos, Check: DirectiveCheck,
-				Msg: fmt.Sprintf("//greenlint:allow %s needs a reason — say why this site is exempt", d.check)})
+				Msg: fmt.Sprintf("unknown greenlint directive %q (supported: allow <check> <reason>, owns <reason>, hotpath <reason>)", d.verb)})
 		}
 	}
 	return out
@@ -196,42 +251,87 @@ func checkNames() []string {
 	return names
 }
 
-// suppressed reports whether a well-formed allow directive covers the
-// finding: same file, matching check, on the finding's line or the line
-// directly above it.
-func suppressed(f Finding, dirs []directive) bool {
-	for _, d := range dirs {
+// suppressorOf returns the index of the well-formed allow directive
+// covering the finding — same file, matching check, on the finding's
+// line or the line directly above it — or -1. A same-line directive
+// wins over a line-above one, so that stacked annotations on adjacent
+// lines each get credited with their own finding (the unusedallow audit
+// counts credits; first-match-in-window would starve the second
+// directive of a pair and flag it as stale).
+func suppressorOf(f Finding, dirs []directive) int {
+	lineAbove := -1
+	for i, d := range dirs {
 		if d.verb != "allow" || d.check != f.Check || d.reason == "" {
 			continue
 		}
 		if d.pos.Filename != f.Pos.Filename {
 			continue
 		}
-		if d.pos.Line == f.Pos.Line || d.pos.Line+1 == f.Pos.Line {
-			return true
+		if d.pos.Line == f.Pos.Line {
+			return i
+		}
+		if d.pos.Line+1 == f.Pos.Line && lineAbove < 0 {
+			lineAbove = i
 		}
 	}
-	return false
+	return lineAbove
 }
 
 // LintPackage runs the whole suite over one loaded package and returns
 // the surviving findings (directive errors included, suppressions
 // applied).
 func LintPackage(fset *token.FileSet, pkg *Package) []Finding {
+	return lintPackage(fset, pkg, nil)
+}
+
+// lintPackage runs the enabled subset of the suite (nil = all checks)
+// and applies the directive machinery: suppression, directive
+// validation, and the unusedallow audit over the suppression ledger.
+func lintPackage(fset *token.FileSet, pkg *Package, enabled map[string]bool) []Finding {
+	on := func(name string) bool { return enabled == nil || enabled[name] }
 	var raw []Finding
 	pass := &Pass{Fset: fset, Pkg: pkg, report: func(f Finding) { raw = append(raw, f) }}
 	for _, a := range Analyzers {
+		if !on(a.Name) {
+			continue
+		}
 		pass.current = a
 		a.Run(pass)
 	}
 	dirs := parseDirectives(fset, pkg.Files)
+	used := make([]bool, len(dirs))
 	var out []Finding
 	for _, f := range raw {
-		if !suppressed(f, dirs) {
-			out = append(out, f)
+		if i := suppressorOf(f, dirs); i >= 0 {
+			used[i] = true
+			continue
+		}
+		out = append(out, f)
+	}
+	if on(UnusedAllow.Name) {
+		for i, d := range dirs {
+			if d.verb != "allow" || used[i] {
+				continue
+			}
+			if !knownCheck(d.check) || d.reason == "" {
+				continue // malformed: already a directive finding
+			}
+			if d.check == UnusedAllow.Name || !on(d.check) {
+				continue // self-referential or unjudged under -checks
+			}
+			f := Finding{Pos: d.pos, Check: UnusedAllow.Name,
+				Msg: fmt.Sprintf("//greenlint:allow %s suppresses nothing here; delete the stale directive (or fix the drift that orphaned it)", d.check)}
+			if suppressorOf(f, dirs) < 0 {
+				out = append(out, f)
+			}
 		}
 	}
-	out = append(out, validateDirectives(dirs)...)
+	_, danglingDirs := funcDirectives(pass)
+	dangling := make(map[token.Position]bool, len(danglingDirs))
+	for _, d := range danglingDirs {
+		dangling[d.pos] = true
+	}
+	out = append(out, validateDirectives(dirs, dangling)...)
 	return out
 }
 
@@ -239,13 +339,30 @@ func LintPackage(fset *token.FileSet, pkg *Package) []Finding {
 // plain directories) and lints them all. Findings come back sorted by
 // position; loadWarnings carries non-fatal type-check notes.
 func Run(patterns []string) (findings []Finding, loadWarnings []string, err error) {
+	return RunChecks(patterns, nil)
+}
+
+// RunChecks is Run restricted to the named checks (nil or empty =
+// everything). Unknown names error out loudly — a typoed -checks filter
+// must not silently lint nothing.
+func RunChecks(patterns []string, checks []string) (findings []Finding, loadWarnings []string, err error) {
+	var enabled map[string]bool
+	if len(checks) > 0 {
+		enabled = make(map[string]bool, len(checks))
+		for _, c := range checks {
+			if !knownCheck(c) {
+				return nil, nil, fmt.Errorf("unknown check %q (known checks: %s)", c, strings.Join(checkNames(), ", "))
+			}
+			enabled[c] = true
+		}
+	}
 	fset := token.NewFileSet()
 	pkgs, err := Load(fset, patterns)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, pkg := range pkgs {
-		findings = append(findings, LintPackage(fset, pkg)...)
+		findings = append(findings, lintPackage(fset, pkg, enabled)...)
 		for _, terr := range pkg.TypeErrors {
 			loadWarnings = append(loadWarnings, fmt.Sprintf("%s: type-check: %v", pkg.Path, terr))
 		}

@@ -189,6 +189,34 @@ func TestReduceOrderScopedToML(t *testing.T) {
 	}
 }
 
+func TestFrameReleaseFixture(t *testing.T) {
+	findings := checkFixture(t, "framerelease")
+	if len(findings) == 0 {
+		t.Fatal("framerelease fixture produced no findings; the CI gate would pass vacuously")
+	}
+}
+
+func TestMeteredCostFixture(t *testing.T) {
+	findings := checkFixture(t, "meteredcost")
+	if len(findings) == 0 {
+		t.Fatal("meteredcost fixture produced no findings; the CI gate would pass vacuously")
+	}
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	findings := checkFixture(t, "hotalloc")
+	if len(findings) == 0 {
+		t.Fatal("hotalloc fixture produced no findings; the CI gate would pass vacuously")
+	}
+}
+
+func TestUnusedAllowFixture(t *testing.T) {
+	findings := checkFixture(t, "unusedallow")
+	if len(findings) == 0 {
+		t.Fatal("unusedallow fixture produced no findings; the CI gate would pass vacuously")
+	}
+}
+
 // TestDirectivesFixture covers the suppression machinery: allow
 // directives on the same line and the line above suppress, directives
 // for another check or further away do not, and malformed directives

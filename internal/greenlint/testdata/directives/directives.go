@@ -14,12 +14,12 @@ func allowedSameLine() time.Time {
 }
 
 func wrongCheckDoesNotSuppress() time.Time {
-	//greenlint:allow wraperr a directive for another check must not suppress wallclock
+	//greenlint:allow wraperr a directive for another check must not suppress wallclock // want "\\[unusedallow\\] //greenlint:allow wraperr suppresses nothing here"
 	return time.Now() // want "\\[wallclock\\] call to time\\.Now"
 }
 
 func tooFarAway() time.Time {
-	//greenlint:allow wallclock a directive two lines up is out of range
+	//greenlint:allow wallclock a directive two lines up is out of range // want "\\[unusedallow\\] //greenlint:allow wallclock suppresses nothing here"
 
 	return time.Now() // want "\\[wallclock\\] call to time\\.Now"
 }

@@ -1,0 +1,141 @@
+// Package framerelease is a greenlint golden-file fixture for the
+// pooled-frame linear-ownership analyzer: leaks on early error returns,
+// double release, use after release, and the two sanctioned ownership
+// transfers (return value, //greenlint:owns callee).
+package framerelease
+
+import (
+	"errors"
+
+	"repro/internal/tabular"
+)
+
+var feats = []string{"a", "b"}
+
+func leakOnErrorPath(cond bool) error {
+	f := tabular.NewPooledFrame("x", 4, 2) // want "\\[framerelease\\] pooled frame \"f\" may leak"
+	if cond {
+		return errors.New("early exit skips the release")
+	}
+	f.Release()
+	return nil
+}
+
+func releasedOnAllPaths(cond bool) error {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	if cond {
+		f.Release()
+		return errors.New("released before the early exit")
+	}
+	f.Release()
+	return nil
+}
+
+func deferredReleaseCoversEveryPath(cond bool) error {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	defer f.Release()
+	if cond {
+		return errors.New("deferred release still runs here")
+	}
+	f.Cols[0][0] = 1
+	return nil
+}
+
+func doubleRelease() {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	f.Release()
+	f.Release() // want "\\[framerelease\\] pooled frame \"f\" may be released twice"
+}
+
+func releaseAfterDefer() {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	defer f.Release()
+	f.Release() // want "\\[framerelease\\] pooled frame \"f\" may be released twice"
+}
+
+func useAfterRelease() int {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	f.Release()
+	return f.Rows() // want "\\[framerelease\\] pooled frame \"f\" may be used after Release"
+}
+
+func transferByReturn() *tabular.Frame {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	f.Cols[0][0] = 1
+	return f // ownership moves to the caller; no finding
+}
+
+// callerInheritsObligation pins the call-graph fixpoint: transferByReturn
+// is package-local and returns an owned frame, so calling it mints the
+// same obligation NewPooledFrame does.
+func callerInheritsObligation(cond bool) {
+	f := transferByReturn() // want "\\[framerelease\\] pooled frame \"f\" may leak"
+	if cond {
+		return
+	}
+	f.Release()
+}
+
+// buildView transfers ownership through a view of the owned frame, the
+// preprocess.Transform idiom.
+func buildView() tabular.View {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	f.Cols[1][2] = 3
+	return f.All() // view of an owned frame: ownership moves with it
+}
+
+func viewCallerLeaks(cond bool) tabular.View {
+	v := buildView() // want "\\[framerelease\\] pooled frame \"v\" may leak"
+	if cond {
+		return tabular.View{}
+	}
+	return v
+}
+
+//greenlint:owns sinks the frame into fixture storage and releases it later
+func consume(f *tabular.Frame) {
+	f.Release()
+}
+
+func transferByOwnsAnnotation() {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	f.Cols[0][0] = 1
+	consume(f) // annotated callee takes the obligation; no finding
+}
+
+func droppedResult() {
+	tabular.NewPooledFrame("x", 4, 2) // want "\\[framerelease\\] owned frame from NewPooledFrame is dropped"
+}
+
+func overwriteWhileOwned() {
+	f := tabular.NewPooledFrame("x", 4, 2)
+	f = tabular.NewPooledFrame("y", 4, 2) // want "\\[framerelease\\] pooled frame \"f\" overwritten while still owned"
+	f.Release()
+}
+
+func allowedLeak(cond bool) error {
+	//greenlint:allow framerelease fixture pins that the check is suppressible
+	f := tabular.NewPooledFrame("x", 4, 2)
+	if cond {
+		return errors.New("tolerated leak")
+	}
+	f.Release()
+	return nil
+}
+
+// loopBodyStaysClean pins the no-false-positive contract on the
+// preprocess shape: create, fill in a loop, release on every path.
+func loopBodyStaysClean(n int) error {
+	f := tabular.NewPooledFrame("x", n, 2)
+	for j := range f.Cols {
+		for i := range f.Cols[j] {
+			f.Cols[j][i] = float64(i)
+		}
+		if n > len(feats) {
+			f.Release()
+			return errors.New("release inside the loop covers this exit")
+		}
+	}
+	f.Release()
+	return nil
+}

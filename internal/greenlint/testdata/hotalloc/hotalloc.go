@@ -1,0 +1,87 @@
+// Package hotalloc is a greenlint golden-file fixture for the hot-path
+// allocation analyzer: allocation-bearing constructs inside functions
+// annotated //greenlint:hotpath, propagation to package-local callees,
+// and the allow escape hatch.
+package hotalloc
+
+type point struct{ x, y float64 }
+
+//greenlint:hotpath fixture kernel must stay allocation-free
+func kernel(dst, xs []float64) float64 {
+	buf := make([]float64, 4) // want "\\[hotalloc\\] make allocates on a hot path"
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	helper(dst)
+	_ = buf
+	return s
+}
+
+// helper is hot only by propagation from kernel; the finding names the
+// root annotation.
+func helper(dst []float64) {
+	tmp := new(float64) // want "\\[hotalloc\\] new allocates on a hot path \\(hot via kernel\\)"
+	dst[0] = *tmp
+}
+
+//greenlint:hotpath growth must be presized
+func grower(dst []float64, x float64) []float64 {
+	return append(dst, x) // want "\\[hotalloc\\] append may grow \\(allocate\\) on a hot path"
+}
+
+//greenlint:hotpath closure environments allocate
+func closures(xs []float64) func() float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	f := func() float64 { return total } // want "\\[hotalloc\\] capturing closure allocates its environment on a hot path"
+	return f
+}
+
+//greenlint:hotpath literals with reference backing allocate
+func literals() []float64 {
+	p := &point{x: 1} // want "\\[hotalloc\\] &composite literal escapes to the heap on a hot path"
+	q := point{y: 2}  // plain struct value literal stays on the stack: no finding
+	_ = q
+	_ = p
+	return []float64{1, 2} // want "\\[hotalloc\\] slice literal allocates on a hot path"
+}
+
+//greenlint:hotpath interfaces box concrete values
+func boxer(vals []int) any {
+	var a any
+	a = vals[0] // want "\\[hotalloc\\] assignment boxes a concrete value into an interface on a hot path"
+	_ = a
+	sinkAny(vals[0]) // want "\\[hotalloc\\] argument boxes a concrete value into an interface on a hot path"
+	sinkAny(&vals[0])
+	return vals[0] // want "\\[hotalloc\\] return boxes a concrete value into an interface on a hot path"
+}
+
+// sinkAny is hot via boxer; pointers fit the interface word, so calling
+// it with &vals[0] above is allocation-free.
+func sinkAny(x any) {
+	_ = x
+}
+
+//greenlint:hotpath string conversions copy
+func stringify(b []byte) string {
+	return string(b) // want "\\[hotalloc\\] string/slice conversion copies on a hot path"
+}
+
+//greenlint:hotpath the allow escape hatch still works here
+func allowedGrow(dst []byte, b byte) []byte {
+	//greenlint:allow hotalloc amortized doubling behind a caller-side cap check
+	return append(dst, b)
+}
+
+// coldPath is unannotated and unreachable from any hot root: it may
+// allocate freely.
+func coldPath(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}

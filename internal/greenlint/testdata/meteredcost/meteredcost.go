@@ -1,0 +1,87 @@
+// Package meteredcost is a greenlint golden-file fixture for the
+// energy-accounting completeness analyzer: discarded costs, costs that
+// miss the meter on early error paths, and the sanctioned ways of
+// discharging the obligation (charge, accumulate, return).
+package meteredcost
+
+import (
+	"errors"
+
+	"repro/internal/ml"
+)
+
+// fitOne stands in for an ml fit entry point: it returns the compute it
+// spent as an ml.Cost.
+func fitOne() ml.Cost {
+	return ml.Cost{Generic: 1}
+}
+
+// fitChecked is the common (Cost, error) shape of Fit.
+func fitChecked(fail bool) (ml.Cost, error) {
+	if fail {
+		return ml.Cost{}, errors.New("fit failed")
+	}
+	return ml.Cost{Tree: 1}, nil
+}
+
+// charge stands in for the energy.Meter side of the contract.
+func charge(c ml.Cost) {
+	_ = c.Total()
+}
+
+func bareCallDiscards() {
+	fitOne() // want "\\[meteredcost\\] ml.Cost result of fitOne is discarded"
+}
+
+func blankBindingDiscards() {
+	_ = fitOne() // want "\\[meteredcost\\] ml.Cost result of fitOne is discarded \\(bound to _\\)"
+}
+
+func blankInTupleDiscards() {
+	_, err := fitChecked(false) // want "\\[meteredcost\\] ml.Cost result of fitChecked is discarded \\(bound to _\\)"
+	_ = err
+}
+
+func launderedThroughBlank() {
+	c := fitOne()
+	_ = c // want "\\[meteredcost\\] ml.Cost \"c\" is explicitly discarded"
+}
+
+func earlyReturnSkipsCharge(fail bool) error {
+	c, err := fitChecked(fail) // want "\\[meteredcost\\] ml.Cost \"c\" may go unmetered"
+	if err != nil {
+		return err // c never reaches the meter on this path
+	}
+	charge(c)
+	return nil
+}
+
+func chargedBeforeEveryExit(fail bool) error {
+	c, err := fitChecked(fail)
+	charge(c) // charging before the branch covers both exits
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func accumulated() ml.Cost {
+	var total ml.Cost
+	c := fitOne()
+	total.Add(c) // folding into an accumulator discharges c
+	return total
+}
+
+func returnedToCaller() (ml.Cost, error) {
+	return fitChecked(false) // the caller inherits the obligation
+}
+
+func overwrittenWhileUncharged() {
+	c := fitOne()
+	c = fitOne() // want "\\[meteredcost\\] ml.Cost \"c\" overwritten while still uncharged"
+	charge(c)
+}
+
+func allowedDiscard() {
+	fitOne() //greenlint:allow meteredcost fixture pins that the check is suppressible
+}

@@ -1,0 +1,29 @@
+// Package unusedallow is a greenlint golden-file fixture for the
+// stale-suppression audit: an allow that suppresses a live finding is
+// fine, an allow that suppresses nothing is itself a finding, and the
+// audit's own findings are suppressible.
+package unusedallow
+
+import "time"
+
+func liveSuppression() time.Time {
+	//greenlint:allow wallclock fixture exercises a directive that still earns its keep
+	return time.Now()
+}
+
+//greenlint:allow wallclock nothing below reads the clock anymore // want "\\[unusedallow\\] //greenlint:allow wallclock suppresses nothing here"
+func staleSuppression() int {
+	return 42
+}
+
+func staleOnItsOwnLine() int {
+	x := 7
+	//greenlint:allow maporder this loop was deleted two refactors ago // want "\\[unusedallow\\] //greenlint:allow maporder suppresses nothing here"
+	return x
+}
+
+//greenlint:allow unusedallow fixture pins that the audit itself is suppressible
+//greenlint:allow wallclock stale but explicitly tolerated during a migration
+func toleratedStaleness() int {
+	return 7
+}

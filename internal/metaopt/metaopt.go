@@ -263,7 +263,7 @@ func Optimize(specs []openml.Spec, opts Options) (*Result, error) {
 	trials, pruned := 0, 0
 
 	for it := 0; it < opts.Iterations; it++ {
-		cfg, _ := bo.Suggest() // surrogate cost is development-side and negligible vs CAML runs
+		cfg, _ := bo.Suggest() //greenlint:allow meteredcost surrogate cost is development-side and negligible vs CAML runs
 		params := ParamsFromConfig(cfg)
 		objective := 0.0
 		stepValues := make([]float64, 0, len(data))

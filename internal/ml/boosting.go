@@ -118,10 +118,10 @@ func (b *BoostingClassifier) Fit(ds tabular.View, rng *rand.Rand) (Cost, error) 
 				}
 			}
 			c, err := tree.FitReg(fitView, t, rng)
+			cost.Add(c) // partial cost of a failed fit is still compute spent
 			if err != nil {
 				return cost, fmt.Errorf("ml: boosting round %d class %d: %w", r, k, err)
 			}
-			cost.Add(c)
 			pred, c2 := tree.PredictReg(ds)
 			cost.Add(c2)
 			for i, v := range pred {

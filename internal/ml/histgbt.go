@@ -306,6 +306,8 @@ func (h *HistBoosting) Fit(ds tabular.View, _ *rand.Rand) (Cost, error) {
 // recursing only into segments that still contain a wanted position.
 // For Bins quantiles this does O(n log Bins) compares instead of the
 // full sort's O(n log n). Tiny segments are insertion-sorted outright.
+//
+//greenlint:hotpath quantile-binning inner kernel; operates in place on caller scratch
 func multiSelect(a []float64, lo, hi int, pos []int) {
 	for len(pos) > 0 {
 		if hi-lo <= 12 {
@@ -374,6 +376,8 @@ func multiSelect(a []float64, lo, hi int, pos []int) {
 // shape (the range shrinks by half unconditionally and the comparison
 // only shifts the base), which compiles to a conditional move instead
 // of an unpredictable branch per probe.
+//
+//greenlint:hotpath per-cell binning probe; runs rows-times-features times per fit
 func binIndex(edges []float64, v float64) uint8 {
 	base, n := 0, len(edges)
 	for n > 1 {
@@ -475,6 +479,8 @@ func (h *HistBoosting) buildTree(s *histScratch, logits []float64, class int, lo
 
 // scanItem dispatches one work item of a node's split search: a pair
 // of features, or the odd tail feature.
+//
+//greenlint:hotpath split-search scan; all histogram state lives in preallocated worker scratch
 func (s *histScratch) scanItem(w, q, pairs, bins int, idx []int32, tgt []float64, sum float64) {
 	if j0 := 2 * q; q < pairs {
 		s.scanPair(w, j0, bins, idx, tgt, sum)
@@ -615,6 +621,8 @@ func histGainScan(hs *[256]float64, hc *[256]int32, bins int, sum float64, m int
 // logits. The historical kernel re-walked every training row through
 // the finished tree; a row lands in exactly one leaf, so applying at
 // leaf creation performs the same single addition per row.
+//
+//greenlint:hotpath per-row logit update at every leaf of every tree
 func (h *HistBoosting) applyLeaf(logits []float64, idx []int32, class int, value float64) {
 	lr := h.Params.LearningRate
 	k := h.classes
@@ -629,6 +637,8 @@ func (h *HistBoosting) pushHist(n histNode) int32 {
 }
 
 // walkRow walks a binned feature row to its leaf value.
+//
+//greenlint:hotpath per-row per-tree inference walk
 func (h *HistBoosting) walkRow(root int32, row []uint8) float64 {
 	nd := &h.nodes[root]
 	for nd.feature >= 0 {

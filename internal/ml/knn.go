@@ -148,6 +148,8 @@ func (k *KNN) PredictProba(x tabular.View) ([][]float64, Cost) {
 // per-feature terms in ascending feature order — the bit-identity
 // invariant — while each training value is loaded once per query block
 // instead of once per query.
+//
+//greenlint:hotpath distance accumulation over every query-row pair; scratch is per-worker
 func (k *KNN) scanQueries(x tabular.View, ws *knnWorker, i, qn, n, d int) {
 	clear(ws.dist[:qn*n])
 	for j := 0; j < d; j++ {

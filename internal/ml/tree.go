@@ -323,6 +323,8 @@ func (tc *treeCore) findSplit(task treeTask, lo, hi int, rng *rand.Rand) (featur
 //     tie order changes the bits of candidate gains — silently diverging
 //     from the classification kernel is exactly what the shared scratch
 //     path must avoid.
+//
+//greenlint:hotpath per-node candidate ordering; both paths reuse treeScratch buffers
 func (tc *treeCore) orderByFeature(lo, hi, f int) []int32 {
 	s := tc.scratch
 	m := hi - lo

@@ -55,6 +55,7 @@ func (p *Pipeline) Fit(ds tabular.View, rng *rand.Rand) (ml.Cost, error) {
 		next, c, err := t.FitTransform(cur, rng)
 		cost.Add(c)
 		if err != nil {
+			releaseUnless(cur, ds.Frame())
 			return cost, fmt.Errorf("pipeline: %s: %w", t.Name(), err)
 		}
 		releaseUnless(cur, ds.Frame(), next.Frame())
@@ -63,6 +64,9 @@ func (p *Pipeline) Fit(ds tabular.View, rng *rand.Rand) (ml.Cost, error) {
 	c, err := p.Model.Fit(cur, rng)
 	cost.Add(c)
 	if err != nil {
+		// The abandoned pipeline will never predict, so any aliases the
+		// model took of cur's columns die with it — safe to pool the frame.
+		releaseUnless(cur, ds.Frame())
 		return cost, fmt.Errorf("pipeline: %s: %w", p.Model.Name(), err)
 	}
 	p.fitted = true

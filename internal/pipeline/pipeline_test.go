@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"math"
 	mathrand "math/rand" //greenlint:allow globalrand testing/quick needs a v1 *rand.Rand; the source is explicitly seeded
 	"math/rand/v2"
@@ -9,6 +10,8 @@ import (
 	"testing/quick"
 
 	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/preprocess"
 	"repro/internal/tabular"
 )
 
@@ -320,5 +323,75 @@ func TestExtendedModelsOptIn(t *testing.T) {
 		if acc := metrics.Accuracy(train.Y, pred); acc < 0.9 {
 			t.Errorf("%s training accuracy %.3f", family, acc)
 		}
+	}
+}
+
+// pooledPassthrough is a test transformer that copies its input into a
+// fresh pooled frame — the ownership shape every real preprocessor has.
+type pooledPassthrough struct{ out *tabular.Frame }
+
+func (s *pooledPassthrough) FitTransform(ds tabular.View, _ *rand.Rand) (tabular.View, ml.Cost, error) {
+	f := tabular.NewPooledFrame(ds.Name(), ds.Rows(), ds.Features())
+	for j := 0; j < ds.Features(); j++ {
+		ds.ColInto(j, f.Cols[j])
+	}
+	s.out = f
+	return f.All(), ml.Cost{}, nil
+}
+
+func (s *pooledPassthrough) Transform(x tabular.View) (tabular.View, ml.Cost) {
+	return x, ml.Cost{}
+}
+
+func (s *pooledPassthrough) Name() string { return "pooled_passthrough" }
+
+// failingTransformer always errors out of FitTransform.
+type failingTransformer struct{}
+
+func (failingTransformer) FitTransform(tabular.View, *rand.Rand) (tabular.View, ml.Cost, error) {
+	return tabular.View{}, ml.Cost{}, errors.New("boom")
+}
+func (failingTransformer) Transform(x tabular.View) (tabular.View, ml.Cost) { return x, ml.Cost{} }
+func (failingTransformer) Name() string                                     { return "failing_transformer" }
+
+// failingModel always errors out of Fit.
+type failingModel struct{}
+
+func (failingModel) Fit(tabular.View, *rand.Rand) (ml.Cost, error) {
+	return ml.Cost{}, errors.New("model boom")
+}
+func (failingModel) PredictProba(tabular.View) ([][]float64, ml.Cost) { return nil, ml.Cost{} }
+func (failingModel) Clone() ml.Classifier                             { return failingModel{} }
+func (failingModel) Name() string                                     { return "failing_model" }
+func (failingModel) ParallelFrac() float64                            { return 0 }
+
+func TestFitReleasesIntermediateFrameOnTransformError(t *testing.T) {
+	stage := &pooledPassthrough{}
+	p := &Pipeline{
+		Pre:   []preprocess.Transformer{stage, failingTransformer{}},
+		Model: failingModel{},
+	}
+	if _, err := p.Fit(blob(12, testRNG(3)).View(), testRNG(4)); err == nil {
+		t.Fatal("failing transformer did not surface an error")
+	}
+	if stage.out == nil {
+		t.Fatal("pooled stage never ran")
+	}
+	if stage.out.Cols != nil {
+		t.Error("intermediate pooled frame leaked on transform error path")
+	}
+}
+
+func TestFitReleasesIntermediateFrameOnModelError(t *testing.T) {
+	stage := &pooledPassthrough{}
+	p := &Pipeline{
+		Pre:   []preprocess.Transformer{stage},
+		Model: failingModel{},
+	}
+	if _, err := p.Fit(blob(12, testRNG(5)).View(), testRNG(6)); err == nil {
+		t.Fatal("failing model did not surface an error")
+	}
+	if stage.out.Cols != nil {
+		t.Error("intermediate pooled frame leaked on model error path")
 	}
 }

@@ -209,6 +209,8 @@ func (v View) NumCategorical() int {
 }
 
 // RowIndex maps a view-local row to its frame row.
+//
+//greenlint:hotpath per-row indirection inside every ml kernel loop
 func (v View) RowIndex(i int) int {
 	if v.idx != nil {
 		return v.idx[i]
@@ -217,6 +219,8 @@ func (v View) RowIndex(i int) int {
 }
 
 // At returns the value of feature j at view row i.
+//
+//greenlint:hotpath per-cell accessor inside every ml kernel loop
 func (v View) At(i, j int) float64 {
 	if v.idx != nil {
 		return v.f.Cols[j][v.idx[i]]
@@ -225,6 +229,8 @@ func (v View) At(i, j int) float64 {
 }
 
 // Label returns the class label of view row i.
+//
+//greenlint:hotpath per-row label fetch inside fit loops
 func (v View) Label(i int) int {
 	if v.idx != nil {
 		return v.f.Y[v.idx[i]]
@@ -242,6 +248,8 @@ const BlockSize = 8
 // remainder. An empty view yields no calls. Block boundaries depend
 // only on the row count, so per-block accumulations reduce in the same
 // order no matter who executes the blocks.
+//
+//greenlint:hotpath block driver for the unrolled kernels; must not allocate per block
 func (v View) Blocks(size int, fn func(lo, hi int)) {
 	if size < 1 {
 		size = BlockSize
@@ -261,6 +269,8 @@ func (v View) Blocks(size int, fn func(lo, hi int)) {
 // copying; a subset view gathers the range into dst (grown if needed).
 // Callers must not mutate the result. This is the block-granular
 // sibling of ColInto, sized for the unrolled kernels' working sets.
+//
+//greenlint:hotpath per-block column gather inside the unrolled kernels
 func (v View) ColRange(j, lo, hi int, dst []float64) []float64 {
 	col := v.f.Cols[j]
 	if v.idx == nil {
@@ -268,6 +278,7 @@ func (v View) ColRange(j, lo, hi int, dst []float64) []float64 {
 	}
 	m := hi - lo
 	if cap(dst) < m {
+		//greenlint:allow hotalloc first-call grow of caller-owned scratch; amortized to zero across blocks
 		dst = make([]float64, m)
 	}
 	dst = dst[:m]

@@ -5,8 +5,8 @@
 #   1. gofmt cleanliness (every tracked .go file, fixtures included)
 #   2. go vet
 #   3. greenlint — the determinism & energy-accounting suite
-#      (see internal/greenlint and the "Determinism invariants"
-#      section of DESIGN.md)
+#      (see internal/greenlint and the "Determinism invariants" and
+#      "Static analysis" sections of DESIGN.md)
 #
 # All three steps walk the whole module (./...), so new packages — the
 # shard/merge/coordinator layer included — are covered without editing
@@ -26,10 +26,45 @@
 # section of DESIGN.md); writes to captured variables from inside such
 # goroutines need their own annotation.
 #
-# Usage: scripts/lint.sh
+# The CFG-backed analyzers (framerelease, meteredcost, hotalloc) enforce
+# the pooled-frame ownership discipline, ml.Cost accounting, and
+# allocation-free hot kernels; see DESIGN.md "Static analysis" for the
+# //greenlint:owns and //greenlint:hotpath vocabulary.
+#
+# Usage: scripts/lint.sh [-checks name,name,...]
+#
+# With -checks, only the named greenlint analyzers run (gofmt and vet
+# are skipped) — the fast inner loop while iterating on one contract,
+# e.g. scripts/lint.sh -checks framerelease,hotalloc.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+checks=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -checks)
+        [ $# -ge 2 ] || { echo "lint: -checks needs a comma-separated list" >&2; exit 2; }
+        checks="$2"
+        shift 2
+        ;;
+    -checks=*)
+        checks="${1#-checks=}"
+        shift
+        ;;
+    *)
+        echo "lint: unknown argument $1 (usage: scripts/lint.sh [-checks name,...])" >&2
+        exit 2
+        ;;
+    esac
+done
+
+if [ -n "$checks" ]; then
+    echo "lint: greenlint -checks $checks" >&2
+    go run ./cmd/greenlint -checks "$checks" ./...
+    echo "lint: ok" >&2
+    exit 0
+fi
 
 echo "lint: gofmt" >&2
 unformatted=$(gofmt -l .)
