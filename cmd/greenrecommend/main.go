@@ -17,37 +17,66 @@ import (
 	greenautoml "repro"
 )
 
+// options holds every flag value, so validation is a pure function the
+// tests can drive table-style without a process boundary.
+type options struct {
+	cluster    bool
+	executions int
+	budget     time.Duration
+	classes    int
+	gpu        bool
+	priority   string
+
+	// parsedPriority is filled by validate.
+	parsedPriority greenautoml.Priority
+}
+
+// validate rejects malformed flag values with a one-line error.
+func (o *options) validate() error {
+	switch o.priority {
+	case "pareto":
+		o.parsedPriority = greenautoml.PriorityPareto
+	case "inference":
+		o.parsedPriority = greenautoml.PriorityFastInference
+	case "accuracy":
+		o.parsedPriority = greenautoml.PriorityAccuracy
+	default:
+		return fmt.Errorf("unknown priority %q (want pareto, inference or accuracy)", o.priority)
+	}
+	if o.executions < 1 {
+		return fmt.Errorf("-executions %d must be at least 1", o.executions)
+	}
+	if o.budget <= 0 {
+		return fmt.Errorf("-budget %v must be positive", o.budget)
+	}
+	if o.classes < 2 {
+		return fmt.Errorf("-classes %d must be at least 2", o.classes)
+	}
+	return nil
+}
+
 func main() {
-	var (
-		cluster    = flag.Bool("cluster", false, "at least one 28-core-class machine available for >1 week")
-		executions = flag.Int("executions", 1, "planned AutoML executions on new datasets")
-		budget     = flag.Duration("budget", 30*time.Second, "per-run search budget")
-		classes    = flag.Int("classes", 2, "number of classes")
-		gpu        = flag.Bool("gpu", false, "GPU available")
-		priority   = flag.String("priority", "pareto", "priority: pareto | inference | accuracy")
-	)
+	var o options
+	flag.BoolVar(&o.cluster, "cluster", false, "at least one 28-core-class machine available for >1 week")
+	flag.IntVar(&o.executions, "executions", 1, "planned AutoML executions on new datasets")
+	flag.DurationVar(&o.budget, "budget", 30*time.Second, "per-run search budget")
+	flag.IntVar(&o.classes, "classes", 2, "number of classes")
+	flag.BoolVar(&o.gpu, "gpu", false, "GPU available")
+	flag.StringVar(&o.priority, "priority", "pareto", "priority: pareto | inference | accuracy")
 	flag.Parse()
 
-	var p greenautoml.Priority
-	switch *priority {
-	case "pareto":
-		p = greenautoml.PriorityPareto
-	case "inference":
-		p = greenautoml.PriorityFastInference
-	case "accuracy":
-		p = greenautoml.PriorityAccuracy
-	default:
-		fmt.Fprintf(os.Stderr, "greenrecommend: unknown priority %q (want pareto, inference or accuracy)\n", *priority)
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "greenrecommend:", err)
 		os.Exit(2)
 	}
 
 	rec := greenautoml.Recommend(greenautoml.Task{
-		WeeklyClusterAccess: *cluster,
-		PlannedExecutions:   *executions,
-		SearchBudget:        *budget,
-		Classes:             *classes,
-		GPUAvailable:        *gpu,
-		Priority:            p,
+		WeeklyClusterAccess: o.cluster,
+		PlannedExecutions:   o.executions,
+		SearchBudget:        o.budget,
+		Classes:             o.classes,
+		GPUAvailable:        o.gpu,
+		Priority:            o.parsedPriority,
 	})
 	fmt.Printf("recommended system: %s\n", rec.SystemName)
 	fmt.Printf("rationale: %s\n", rec.Rationale)

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	greenautoml "repro"
+)
+
+// TestValidate drives the flag validator table-style: each row is a flag
+// combination and the error fragment it must produce, "" for accepted.
+func TestValidate(t *testing.T) {
+	base := func() options {
+		return options{executions: 1, budget: 30 * time.Second, classes: 2, priority: "pareto"}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string
+	}{
+		{"defaults ok", func(o *options) {}, ""},
+		{"inference priority ok", func(o *options) { o.priority = "inference" }, ""},
+		{"accuracy priority ok", func(o *options) { o.priority = "accuracy" }, ""},
+		{"unknown priority", func(o *options) { o.priority = "speed" }, "unknown priority"},
+		{"zero executions", func(o *options) { o.executions = 0 }, "-executions"},
+		{"zero budget", func(o *options) { o.budget = 0 }, "-budget"},
+		{"one class", func(o *options) { o.classes = 1 }, "-classes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want accept", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateParsesPriority checks validate fills the parsed priority
+// the recommendation call consumes.
+func TestValidateParsesPriority(t *testing.T) {
+	for name, want := range map[string]greenautoml.Priority{
+		"pareto":    greenautoml.PriorityPareto,
+		"inference": greenautoml.PriorityFastInference,
+		"accuracy":  greenautoml.PriorityAccuracy,
+	} {
+		o := options{executions: 1, budget: time.Second, classes: 2, priority: name}
+		if err := o.validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.parsedPriority != want {
+			t.Fatalf("%s parsed to %v, want %v", name, o.parsedPriority, want)
+		}
+	}
+}

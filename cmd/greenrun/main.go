@@ -6,6 +6,11 @@
 //
 //	greenrun -data mydata.csv -target label -system caml -budget 30s
 //	greenrun -data mydata.csv -system autogluon -cores 8 -timeline trace.csv
+//
+// The winning pipeline can be packaged for the serving daemon:
+//
+//	greenrun -data mydata.csv -system caml -save-artifact run/mydata.model
+//	greenserve -model run/mydata.model -addr :8080
 package main
 
 import (
@@ -16,96 +21,184 @@ import (
 	"time"
 
 	greenautoml "repro"
+	"repro/internal/artifact"
 	"repro/internal/atomicio"
 	"repro/internal/energy"
 	"repro/internal/tabular"
 )
 
-func main() {
-	var (
-		dataPath  = flag.String("data", "", "path to the CSV dataset (required)")
-		target    = flag.String("target", "", "label column name (default: last column)")
-		system    = flag.String("system", "caml", "system: caml | caml-tuned | autogluon | autogluon-fast | asklearn1 | asklearn2 | flaml | tabpfn | tpot")
-		budget    = flag.Duration("budget", 30*time.Second, "virtual search budget")
-		cores     = flag.Int("cores", 1, "allotted CPU cores on the modelled testbed")
-		gpu       = flag.Bool("gpu", false, "use the T4 GPU testbed with offload enabled")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		timeline  = flag.String("timeline", "", "write a CodeCarbon-style consumption timeline CSV to this path")
-		splitSeed = flag.Uint64("split-seed", 7, "seed of the 66/34 train/test split")
-	)
-	flag.Parse()
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "greenrun: -data is required")
-		flag.Usage()
-		os.Exit(2)
-	}
+// options holds every flag value, so validation is a pure function the
+// tests can drive table-style without a process boundary.
+type options struct {
+	dataPath     string
+	target       string
+	system       string
+	budget       time.Duration
+	cores        int
+	gpu          bool
+	seed         uint64
+	timeline     string
+	splitSeed    uint64
+	saveArtifact string
+}
 
-	sys, err := buildSystem(*system, *budget)
-	if err != nil {
+// validate rejects malformed and contradictory flag combinations with a
+// one-line error instead of failing partway into a metered run.
+func (o *options) validate() error {
+	if o.dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	if _, err := buildSystem(o.system, o.budget); err != nil {
+		return err
+	}
+	if o.budget <= 0 {
+		return fmt.Errorf("-budget %v must be positive", o.budget)
+	}
+	if o.cores < 1 {
+		return fmt.Errorf("-cores %d must be at least 1", o.cores)
+	}
+	if o.saveArtifact != "" && !systemExportsArtifact(o.system) {
+		return fmt.Errorf("-save-artifact: %s does not expose a single deployable pipeline (no per-config search); use caml, caml-tuned, flaml, asklearn1, asklearn2 or tpot", o.system)
+	}
+	return nil
+}
+
+// systemExportsArtifact reports whether a system populates
+// Result.BestSpec — the deterministic recipe -save-artifact packages.
+func systemExportsArtifact(name string) bool {
+	switch strings.ToLower(name) {
+	case "tabpfn", "autogluon", "autogluon-fast":
+		return false
+	}
+	return true
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.dataPath, "data", "", "path to the CSV dataset (required)")
+	flag.StringVar(&o.target, "target", "", "label column name (default: last column)")
+	flag.StringVar(&o.system, "system", "caml", "system: caml | caml-tuned | autogluon | autogluon-fast | asklearn1 | asklearn2 | flaml | tabpfn | tpot")
+	flag.DurationVar(&o.budget, "budget", 30*time.Second, "virtual search budget")
+	flag.IntVar(&o.cores, "cores", 1, "allotted CPU cores on the modelled testbed")
+	flag.BoolVar(&o.gpu, "gpu", false, "use the T4 GPU testbed with offload enabled")
+	flag.Uint64Var(&o.seed, "seed", 42, "random seed")
+	flag.StringVar(&o.timeline, "timeline", "", "write a CodeCarbon-style consumption timeline CSV to this path")
+	flag.Uint64Var(&o.splitSeed, "split-seed", 7, "seed of the 66/34 train/test split")
+	flag.StringVar(&o.saveArtifact, "save-artifact", "", "package the winning pipeline as a versioned serving artifact at this path (see greenserve)")
+	flag.Parse()
+
+	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "greenrun:", err)
 		os.Exit(2)
 	}
-
-	f, err := os.Open(*dataPath)
-	if err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "greenrun:", err)
 		os.Exit(1)
 	}
-	ds, err := tabular.ReadCSV(f, tabular.CSVOptions{TargetColumn: *target})
+}
+
+func run(o options) error {
+	sys, err := buildSystem(o.system, o.budget)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(o.dataPath)
+	if err != nil {
+		return err
+	}
+	ds, err := tabular.ReadCSV(f, tabular.CSVOptions{TargetColumn: o.target})
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "greenrun:", err)
-		os.Exit(1)
+		return err
 	}
-	ds.Name = *dataPath
+	ds.Name = o.dataPath
 
-	train, test := greenautoml.Split(ds.Frame(), *splitSeed)
+	train, test := greenautoml.Split(ds.Frame(), o.splitSeed)
 
 	machine := greenautoml.CPUTestbed()
-	if *gpu {
+	if o.gpu {
 		machine = greenautoml.GPUTestbed()
 	}
-	meter := greenautoml.NewMeter(machine, *cores)
-	if *gpu {
+	meter := greenautoml.NewMeter(machine, o.cores)
+	if o.gpu {
 		meter.SetGPUMode(energy.GPUActive)
 	}
 	var trace *energy.Timeline
-	if *timeline != "" {
+	if o.timeline != "" {
 		trace = &energy.Timeline{}
 		meter.SetTimeline(trace)
 	}
 
-	res, err := sys.Fit(train, greenautoml.Options{Budget: *budget, Meter: meter, Seed: *seed})
+	res, err := sys.Fit(train, greenautoml.Options{Budget: o.budget, Meter: meter, Seed: o.seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "greenrun:", err)
-		os.Exit(1)
+		return err
 	}
 	pred, err := res.Predict(test, meter)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "greenrun:", err)
-		os.Exit(1)
+		return err
 	}
 	acc := greenautoml.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes())
 	report := meter.Tracker().Snapshot()
 
 	fmt.Printf("dataset:            %s (%d rows, %d features, %d classes)\n", ds.Name, ds.Rows(), ds.Features(), ds.Classes)
-	fmt.Printf("system:             %s on %s (%d cores)\n", res.System, machine.Name, *cores)
+	fmt.Printf("system:             %s on %s (%d cores)\n", res.System, machine.Name, o.cores)
 	fmt.Printf("search:             budget %s, actual %s, %d pipelines evaluated\n",
-		*budget, res.ExecTime.Round(10*time.Millisecond), res.Evaluated)
+		o.budget, res.ExecTime.Round(10*time.Millisecond), res.Evaluated)
 	fmt.Printf("balanced accuracy:  %.4f on %d held-out rows\n", acc, test.Rows())
 	fmt.Printf("execution energy:   %.6f kWh\n", report.ExecutionKWh)
 	fmt.Printf("inference energy:   %.4g kWh/instance\n", report.InferenceKWh/float64(test.Rows()))
 	fmt.Printf("footprint:          %.6f kg CO2, %.6f EUR\n", report.CO2Kg(), report.CostEUR())
 
+	if o.saveArtifact != "" {
+		if err := saveArtifact(o, res, train, meter); err != nil {
+			return err
+		}
+	}
+
 	if trace != nil {
 		// Atomic replace: a kill mid-write must not leave a torn
 		// timeline under the final name.
-		if err := atomicio.WriteFile(*timeline, trace.WriteCSV); err != nil {
-			fmt.Fprintln(os.Stderr, "greenrun:", err)
-			os.Exit(1)
+		if err := atomicio.WriteFile(o.timeline, trace.WriteCSV); err != nil {
+			return err
 		}
-		fmt.Printf("timeline:           %d samples -> %s\n", trace.Len(), *timeline)
+		fmt.Printf("timeline:           %d samples -> %s\n", trace.Len(), o.timeline)
 	}
+	return nil
+}
+
+// saveArtifact packages the winning pipeline as a deterministic,
+// checksummed serving artifact. The refit the artifact performs for its
+// prediction fingerprint is real work, so its cost is charged to the
+// meter's execution stage before the file is written.
+func saveArtifact(o options, res *greenautoml.Result, train tabular.View, meter *energy.Meter) error {
+	if res.BestSpec == nil || res.BestConfig == nil {
+		return fmt.Errorf("-save-artifact: %s returned no deployable pipeline recipe", o.system)
+	}
+	spec := artifact.Spec{
+		Dataset:              o.dataPath,
+		Models:               res.BestSpec.Models,
+		DataPreprocessors:    res.BestSpec.DataPreprocessors,
+		FeaturePreprocessors: res.BestSpec.FeaturePreprocessors,
+		ComplexityCaps:       res.BestSpec.ComplexityCaps,
+		Params:               res.BestConfig,
+		Seed:                 o.seed,
+		Train:                train.Materialize(),
+	}
+	m, cost, err := artifact.Build(spec)
+	// Charge before the error check: a refit that failed partway still
+	// consumed its reported cost.
+	for _, w := range cost.Works(0) {
+		meter.Run(energy.Execution, w)
+	}
+	if err != nil {
+		return fmt.Errorf("-save-artifact: %w", err)
+	}
+	if err := artifact.Save(o.saveArtifact, m); err != nil {
+		return fmt.Errorf("-save-artifact: %w", err)
+	}
+	fmt.Printf("artifact:           %s (fingerprint %016x) -> %s\n", res.System, m.Fingerprint, o.saveArtifact)
+	return nil
 }
 
 // buildSystem maps the CLI name to a system constructor.

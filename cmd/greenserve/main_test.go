@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/hw"
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+	"repro/internal/tabular"
+)
+
+// TestValidate drives the flag validator table-style: each row is a flag
+// combination and the error fragment it must produce, "" for accepted.
+func TestValidate(t *testing.T) {
+	base := func() options {
+		return options{model: "m.model", addr: ":8080", rate: 1000, paretoAlpha: 1.5}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string
+	}{
+		{"daemon defaults ok", func(o *options) {}, ""},
+		{"missing model", func(o *options) { o.model = "" }, "-model is required"},
+		{"negative queue cap", func(o *options) { o.queueCap = -1 }, "-queue-cap"},
+		{"negative batch max", func(o *options) { o.batchMax = -2 }, "-batch-max"},
+		{"negative batch window", func(o *options) { o.batchWindow = -time.Second }, "-batch-window"},
+		{"negative breaker threshold", func(o *options) { o.breakerThreshold = -1 }, "-breaker-threshold"},
+		{"negative breaker cooldown", func(o *options) { o.breakerCooldown = -time.Second }, "-breaker-cooldown"},
+		{"negative predict timeout ok (disables)", func(o *options) { o.predictTimeout = -1 }, ""},
+		{"daemon needs addr", func(o *options) { o.addr = "" }, "-addr is required"},
+		{"users is loadgen-only", func(o *options) { o.users = 5 }, "-users only applies"},
+		{"requests is loadgen-only", func(o *options) { o.requests = 10 }, "-requests only applies"},
+		{"deadline-frac is loadgen-only", func(o *options) { o.deadlineFrac = 0.5 }, "-deadline-frac only applies"},
+		{"loadgen ok", func(o *options) { o.loadgen = true; o.requests = 100 }, ""},
+		{"loadgen closed loop ok", func(o *options) { o.loadgen = true; o.requests = 100; o.users = 50 }, ""},
+		{"loadgen negative users", func(o *options) { o.loadgen = true; o.requests = 100; o.users = -1 }, "-users"},
+		{"loadgen zero rate", func(o *options) { o.loadgen = true; o.requests = 100; o.rate = 0 }, "-rate"},
+		{"loadgen zero requests", func(o *options) { o.loadgen = true }, "-requests"},
+		{"loadgen thin tail", func(o *options) { o.loadgen = true; o.requests = 10; o.paretoAlpha = 1 }, "-pareto-alpha"},
+		{"loadgen bad deadline frac", func(o *options) { o.loadgen = true; o.requests = 10; o.deadlineFrac = 1.5 }, "-deadline-frac"},
+		{"loadgen frac without deadline", func(o *options) { o.loadgen = true; o.requests = 10; o.deadlineFrac = 0.5 }, "-deadline must be positive"},
+		{"loadgen frac with deadline ok", func(o *options) {
+			o.loadgen = true
+			o.requests = 10
+			o.deadlineFrac = 0.5
+			o.deadline = 50 * time.Millisecond
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want accept", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func testArtifactPath(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(5, 5))
+	rows := 60
+	f := tabular.NewFrame("cli", rows, 2)
+	f.Classes = 2
+	f.Y = make([]int, rows)
+	for i := 0; i < rows; i++ {
+		y := i % 2
+		f.Y[i] = y
+		f.Cols[0][i] = float64(y) + 0.3*rng.NormFloat64()
+		f.Cols[1][i] = -float64(y) + 0.3*rng.NormFloat64()
+	}
+	m, _, err := artifact.Build(artifact.Spec{
+		Dataset: "cli",
+		Models:  []string{"tree"},
+		Params:  pipeline.Config{"model": 0, "tree.max_depth": 3},
+		Seed:    9,
+		Train:   f,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cli.model")
+	if err := artifact.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunLoadGenEndToEnd exercises the full CLI path below flag parsing:
+// artifact load, engine assembly, journaled virtual-clock load
+// generation, and the conservation cross-check inside run().
+func TestRunLoadGenEndToEnd(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "serve.jsonl")
+	o := options{
+		model:    testArtifactPath(t),
+		journal:  journal,
+		loadgen:  true,
+		rate:     2000,
+		requests: 200,
+		users:    20,
+
+		paretoAlpha:  1.5,
+		deadline:     20 * time.Millisecond,
+		deadlineFrac: 0.25,
+		seed:         3,
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := serve.ReplayJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 200 || rep.Torn || rep.Damaged != 0 {
+		t.Fatalf("journal: %d records, torn %v, damaged %d", len(rep.Records), rep.Torn, rep.Damaged)
+	}
+}
+
+// TestRunRefusesCorruptArtifact checks the daemon's startup refusal: a
+// corrupt artifact never serves.
+func TestRunRefusesCorruptArtifact(t *testing.T) {
+	path := testArtifactPath(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := options{model: path, loadgen: true, rate: 1000, requests: 10, paretoAlpha: 1.5}
+	err = run(o)
+	if err == nil || !strings.Contains(err.Error(), "loading artifact") {
+		t.Fatalf("run with corrupt artifact: %v, want load refusal", err)
+	}
+}
+
+// TestHTTPEndpoints drives the daemon's API through the real serving
+// bridge: predictions answer with the outcome taxonomy, stats reflect
+// them, reload refuses a corrupt artifact with 409 while the old model
+// keeps serving, and a valid reload swaps without dropping anything.
+func TestHTTPEndpoints(t *testing.T) {
+	path := testArtifactPath(t)
+	model, _, err := loadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := serve.NewEngine(model, hw.XeonGold6132(), serve.Config{BatchWindow: time.Millisecond})
+	srv := serve.NewServer(eng)
+	ts := httptest.NewServer(newMux(srv))
+	defer ts.Close()
+	defer srv.Drain()
+
+	post := func(url, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var payload map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, payload
+	}
+
+	status, payload := post(ts.URL+"/predict", `{"row":[1.0,-1.0]}`)
+	if status != http.StatusOK || payload["outcome"] != "served" {
+		t.Fatalf("predict: %d %v", status, payload)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["model"] != "cli" {
+		t.Fatalf("stats model %v", stats["model"])
+	}
+	outcomes, _ := stats["outcomes"].(map[string]any)
+	if outcomes["served"] != float64(1) {
+		t.Fatalf("stats outcomes %v", outcomes)
+	}
+
+	// Corrupt artifact: reload refused with the taxonomy, old model serving.
+	bad := filepath.Join(t.TempDir(), "bad.model")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x55
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, payload = post(ts.URL+"/reload", `{"path":"`+bad+`"}`)
+	if status != http.StatusConflict || payload["serving"] != "cli" {
+		t.Fatalf("corrupt reload: %d %v", status, payload)
+	}
+	if payload["kind"] != "corrupt" {
+		t.Fatalf("corrupt reload kind %v, want corrupt", payload["kind"])
+	}
+	if status, payload = post(ts.URL+"/predict", `{"row":[1.0,-1.0]}`); status != http.StatusOK {
+		t.Fatalf("predict after refused reload: %d %v", status, payload)
+	}
+
+	// Valid reload swaps in place.
+	if status, payload = post(ts.URL+"/reload", `{"path":"`+path+`"}`); status != http.StatusOK {
+		t.Fatalf("reload: %d %v", status, payload)
+	}
+	if status, payload = post(ts.URL+"/predict", `{"row":[-1.0,1.0]}`); status != http.StatusOK || payload["outcome"] != "served" {
+		t.Fatalf("predict after reload: %d %v", status, payload)
+	}
+
+	// Malformed bodies are 400, not crashes.
+	if r, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader("{}")); err != nil || r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty predict body: %v %v", r.StatusCode, err)
+	}
+}

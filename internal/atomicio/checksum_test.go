@@ -1,0 +1,121 @@
+package atomicio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChecksummedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.bin")
+	payload := []byte("columnar frame bytes \x00\x01\x02 with binary content")
+	if err := WriteFileChecksummedBytes(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileChecksummed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round-trip mismatch: got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestChecksummedEmptyPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := WriteFileChecksummedBytes(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileChecksummed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty payload read back as %d bytes", len(got))
+	}
+}
+
+// TestChecksummedRefusesSingleByteCorruption is the read-back half of
+// the artifact-store contract: write, flip exactly one byte anywhere in
+// the file, and the reader must refuse — a silently accepted flip would
+// feed a corrupt model to the serving daemon.
+func TestChecksummedRefusesSingleByteCorruption(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("the fitted pipeline state this artifact promises to preserve")
+	pristine := filepath.Join(dir, "pristine.bin")
+	if err := WriteFileChecksummedBytes(pristine, payload); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte at every offset: header corruption (magic, CRC,
+	// length) and payload corruption must all be refused.
+	for off := 0; off < len(clean); off++ {
+		corrupt := append([]byte(nil), clean...)
+		corrupt[off] ^= 0x40
+		path := filepath.Join(dir, "corrupt.bin")
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFileChecksummed(path); err == nil {
+			t.Fatalf("byte flip at offset %d was accepted", off)
+		} else if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("byte flip at offset %d: error %v is outside the refusal taxonomy", off, err)
+		}
+	}
+}
+
+func TestChecksummedRefusesTruncation(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	path := filepath.Join(dir, "artifact.bin")
+	if err := WriteFileChecksummedBytes(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 3, envelopeHeaderLen - 1, envelopeHeaderLen, len(clean) - 1} {
+		trunc := filepath.Join(dir, "trunc.bin")
+		if err := os.WriteFile(trunc, clean[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadFileChecksummed(trunc)
+		if err == nil {
+			t.Fatalf("truncation to %d bytes was accepted", keep)
+		}
+		wantKind := ErrChecksum
+		if keep < envelopeHeaderLen {
+			wantKind = ErrMalformed
+		}
+		if !errors.Is(err, wantKind) {
+			t.Fatalf("truncation to %d bytes: err = %v, want %v", keep, err, wantKind)
+		}
+	}
+}
+
+func TestChecksummedRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "foreign.json")
+	if err := os.WriteFile(path, []byte(`{"not": "an envelope, but comfortably longer than the header"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFileChecksummed(path)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("foreign file: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestChecksummedMissingFile(t *testing.T) {
+	_, err := ReadFileChecksummed(filepath.Join(t.TempDir(), "absent.bin"))
+	if err == nil {
+		t.Fatal("reading a missing file succeeded")
+	}
+	if errors.Is(err, ErrChecksum) || errors.Is(err, ErrMalformed) {
+		t.Fatalf("missing file misclassified as damage: %v", err)
+	}
+}

@@ -143,6 +143,10 @@ func (a *AutoSklearn) Fit(train tabular.View, opts Options) (*Result, error) {
 		Classes:   train.Classes(),
 		Evaluated: len(evals),
 		ValScore:  caruana.Score,
+		// The deployable recipe is the ensemble's top-scoring member;
+		// the served ensemble itself is not one spec/config pipeline.
+		BestSpec:   &spec,
+		BestConfig: evals[0].config,
 	}), nil
 }
 

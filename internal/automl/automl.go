@@ -95,6 +95,15 @@ type Result struct {
 	// scikit-learn-style systems predict on CPU even on a GPU machine,
 	// leaving the GPU drawing idle power (paper Table 3).
 	GPUInference bool
+	// BestSpec and BestConfig, when set, describe the best single
+	// evaluated pipeline as a deterministic recipe: BestSpec.Build
+	// followed by a deterministic refit reconstructs a deployable
+	// model. For ensemble systems this is the top-scoring member, not
+	// the ensemble; `greenrun -save-artifact` persists the recipe via
+	// internal/artifact. Systems with no per-config search (TabPFN's
+	// pretrained transformer) leave them empty.
+	BestSpec   *pipeline.SpaceSpec
+	BestConfig pipeline.Config
 }
 
 // Predict classifies the viewed rows, charging the inference cost to the

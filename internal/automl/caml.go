@@ -220,11 +220,13 @@ func (c *CAML) Fit(train tabular.View, opts Options) (*Result, error) {
 	}
 
 	return tracker.finish(&Result{
-		System:    c.Name(),
-		Predictor: singlePredictor(final),
-		Classes:   train.Classes(),
-		Evaluated: evaluated,
-		ValScore:  best.score,
+		System:     c.Name(),
+		Predictor:  singlePredictor(final),
+		Classes:    train.Classes(),
+		Evaluated:  evaluated,
+		ValScore:   best.score,
+		BestSpec:   &params.Spec,
+		BestConfig: bestConfig,
 	}), nil
 }
 

@@ -98,6 +98,8 @@ func (f *FLAML) Fit(train tabular.View, opts Options) (*Result, error) {
 	sample := fitTrain.Subsample(sampleRows, rng)
 
 	var best evaluation
+	var bestState *flamlState
+	var bestCfg pipeline.Config
 	evaluated := 0
 	stallGlobal := 0
 	active := 0 // index of the family currently searched
@@ -128,6 +130,8 @@ func (f *FLAML) Fit(train tabular.View, opts Options) (*Result, error) {
 			}
 			if best.pipe == nil || ev.score > best.score {
 				best = ev
+				bestState = st
+				bestCfg = cfg
 				stallGlobal = 0
 			} else {
 				stallGlobal++
@@ -169,11 +173,13 @@ func (f *FLAML) Fit(train tabular.View, opts Options) (*Result, error) {
 		}), nil
 	}
 	return tracker.finish(&Result{
-		System:    f.Name(),
-		Predictor: singlePredictor(best.pipe),
-		Classes:   train.Classes(),
-		Evaluated: evaluated,
-		ValScore:  best.score,
+		System:     f.Name(),
+		Predictor:  singlePredictor(best.pipe),
+		Classes:    train.Classes(),
+		Evaluated:  evaluated,
+		ValScore:   best.score,
+		BestSpec:   &bestState.spec,
+		BestConfig: bestCfg,
 	}), nil
 }
 

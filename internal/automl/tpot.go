@@ -169,11 +169,13 @@ func (t *TPOT) Fit(train tabular.View, opts Options) (*Result, error) {
 	}
 
 	return tracker.finish(&Result{
-		System:    t.Name(),
-		Predictor: singlePredictor(final),
-		Classes:   train.Classes(),
-		Evaluated: evaluated,
-		ValScore:  best.score,
+		System:     t.Name(),
+		Predictor:  singlePredictor(final),
+		Classes:    train.Classes(),
+		Evaluated:  evaluated,
+		ValScore:   best.score,
+		BestSpec:   &spec,
+		BestConfig: best.cfg,
 	}), nil
 }
 

@@ -16,6 +16,7 @@ package energy
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/hw"
@@ -69,7 +70,17 @@ func CostEUR(kwh float64) float64 { return kwh * EURPerKWh }
 
 // Tracker accumulates consumed energy per stage. The zero value is an empty
 // tracker ready for use.
+//
+// Tracker is safe for concurrent chargers. The batch harness never needs
+// that (each simulated run owns its meter, and the virtual clock is
+// single-owner), but the serving layer charges one tracker from every
+// request path, and its conservation invariant — per-request charges sum
+// exactly to the tracker total — only holds if concurrent AddJoules calls
+// cannot tear or drop increments. The mutex is uncontended in the
+// single-owner harness, so the batch hot path pays only an atomic
+// acquire per charge, not per row.
 type Tracker struct {
+	mu     sync.Mutex
 	joules [numStages]float64
 	busy   [numStages]time.Duration
 }
@@ -78,14 +89,18 @@ type Tracker struct {
 // are ignored.
 func (t *Tracker) AddJoules(s Stage, j float64) {
 	if j > 0 && s >= 0 && s < numStages {
+		t.mu.Lock()
 		t.joules[s] += j
+		t.mu.Unlock()
 	}
 }
 
 // AddBusy records d of active compute time in stage s.
 func (t *Tracker) AddBusy(s Stage, d time.Duration) {
 	if d > 0 && s >= 0 && s < numStages {
+		t.mu.Lock()
 		t.busy[s] += d
+		t.mu.Unlock()
 	}
 }
 
@@ -94,6 +109,8 @@ func (t *Tracker) Joules(s Stage) float64 {
 	if s < 0 || s >= numStages {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.joules[s]
 }
 
@@ -105,11 +122,15 @@ func (t *Tracker) BusyTime(s Stage) time.Duration {
 	if s < 0 || s >= numStages {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.busy[s]
 }
 
 // TotalKWh reports the kWh consumed across all stages.
 func (t *Tracker) TotalKWh() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var sum float64
 	for s := Stage(0); s < numStages; s++ {
 		sum += t.joules[s]
@@ -119,7 +140,10 @@ func (t *Tracker) TotalKWh() float64 {
 
 // Reset zeroes the tracker.
 func (t *Tracker) Reset() {
-	*t = Tracker{}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.joules = [numStages]float64{}
+	t.busy = [numStages]time.Duration{}
 }
 
 // Report is an immutable snapshot of a tracker with derived CO₂ and cost.
@@ -129,12 +153,16 @@ type Report struct {
 	InferenceKWh   float64
 }
 
-// Snapshot captures the tracker's current state.
+// Snapshot captures the tracker's current state. The three stages are
+// read under one lock, so a snapshot taken while chargers run is a
+// consistent instant, not a smear.
 func (t *Tracker) Snapshot() Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return Report{
-		DevelopmentKWh: t.KWh(Development),
-		ExecutionKWh:   t.KWh(Execution),
-		InferenceKWh:   t.KWh(Inference),
+		DevelopmentKWh: t.joules[Development] / JoulesPerKWh,
+		ExecutionKWh:   t.joules[Execution] / JoulesPerKWh,
+		InferenceKWh:   t.joules[Inference] / JoulesPerKWh,
 	}
 }
 

@@ -1,0 +1,85 @@
+package energy
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTrackerConcurrentChargersConserve pins the conservation invariant
+// the serving layer builds on: when many goroutines charge one tracker
+// concurrently, the per-charge ledger must sum exactly — not
+// approximately — to the tracker total. Every charge amount is an exact
+// dyadic rational (k * 2^-12), so float64 addition is associative over
+// any interleaving and "exactly" means bit-equality, with no tolerance
+// hiding a lost or torn increment. Run under -race this also verifies
+// the tracker's locking mechanically.
+func TestTrackerConcurrentChargersConserve(t *testing.T) {
+	const (
+		chargers          = 16
+		chargesPerCharger = 2048
+	)
+	var tr Tracker
+	ledger := make([][]float64, chargers)
+
+	var wg sync.WaitGroup
+	for g := 0; g < chargers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := make([]float64, 0, chargesPerCharger)
+			for i := 0; i < chargesPerCharger; i++ {
+				// Exact dyadic amounts: (1 + (g*chargesPerCharger+i) mod 4096) / 4096.
+				j := float64(1+((g*chargesPerCharger+i)%4096)) / 4096
+				stage := Stage((g + i) % int(numStages))
+				tr.AddJoules(stage, j)
+				tr.AddBusy(stage, time.Microsecond)
+				mine = append(mine, j)
+			}
+			ledger[g] = mine
+		}(g)
+	}
+	wg.Wait()
+
+	var want float64
+	for _, mine := range ledger {
+		for _, j := range mine {
+			want += j
+		}
+	}
+	got := tr.TotalKWh() * JoulesPerKWh
+	if got != want {
+		t.Fatalf("conservation violated: tracker total %v J, per-charge ledger sums to %v J (diff %g)",
+			got, want, math.Abs(got-want))
+	}
+
+	var gotBusy time.Duration
+	for s := Stage(0); s < numStages; s++ {
+		gotBusy += tr.BusyTime(s)
+	}
+	if want := time.Duration(chargers*chargesPerCharger) * time.Microsecond; gotBusy != want {
+		t.Fatalf("busy time %v, want %v", gotBusy, want)
+	}
+}
+
+// TestTrackerSnapshotDuringCharges verifies a snapshot taken mid-charge
+// is internally consistent: the per-stage figures are read under one
+// lock, so their sum can never exceed what has actually been charged.
+func TestTrackerSnapshotDuringCharges(t *testing.T) {
+	var tr Tracker
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4096; i++ {
+			tr.AddJoules(Stage(i%int(numStages)), 1.0/1024)
+		}
+	}()
+	for i := 0; i < 256; i++ {
+		snap := tr.Snapshot()
+		if snap.TotalKWh() < 0 || snap.TotalKWh() > 4096.0/1024/JoulesPerKWh {
+			t.Fatalf("snapshot total %v kWh outside charged range", snap.TotalKWh())
+		}
+	}
+	<-done
+}

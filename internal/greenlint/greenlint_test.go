@@ -203,6 +203,18 @@ func TestMeteredCostFixture(t *testing.T) {
 	}
 }
 
+// TestMeteredCostServeFixture covers the serving-shaped resolve paths:
+// refusal outcomes (shed, expired, degraded) that return early must not
+// drop the predict batch's ml.Cost — an expired or degraded request
+// still consumed its compute, and the serve ledger's conservation
+// invariant depends on every path charging.
+func TestMeteredCostServeFixture(t *testing.T) {
+	findings := checkFixture(t, filepath.Join("meteredcost", "serve"))
+	if len(findings) == 0 {
+		t.Fatal("meteredcost serve fixture produced no findings; the CI gate would pass vacuously")
+	}
+}
+
 func TestHotAllocFixture(t *testing.T) {
 	findings := checkFixture(t, "hotalloc")
 	if len(findings) == 0 {

@@ -1,0 +1,103 @@
+// Package servecost is a greenlint golden-file fixture shaped like the
+// inference-serving layer's resolve paths: a micro-batch predict
+// returns an ml.Cost, and the refusal taxonomy (shed, expired,
+// degraded) gives the cost several early exits to slip through. Every
+// refusal still consumed the predict compute, so dropping the cost on
+// any of those paths is an unmetered-energy bug — exactly what the
+// conservation invariant of the serving ledger forbids.
+package servecost
+
+import (
+	"errors"
+
+	"repro/internal/ml"
+)
+
+type response struct {
+	outcome string
+	joules  float64
+}
+
+// predictBatch stands in for Predictor.PredictProba on a columnar
+// block: probabilities plus the compute spent producing them.
+func predictBatch(rows int) ([][]float64, ml.Cost) {
+	return make([][]float64, rows), ml.Cost{Generic: float64(rows) * 2000}
+}
+
+// chargeJoules stands in for the tracker side of resolve().
+func chargeJoules(c ml.Cost) float64 {
+	return c.Total()
+}
+
+// expiredPathDropsCost models the bug the serve chaos suite pins: the
+// batch ran, a deadline expired before resolution, and the expired
+// early-return abandons the cost without charging it.
+func expiredPathDropsCost(deadlineExpired bool) response {
+	proba, cost := predictBatch(8) // want "\\[meteredcost\\] ml.Cost \"cost\" may go unmetered"
+	if deadlineExpired {
+		// Expired work was still computed; returning here loses it.
+		return response{outcome: "expired"}
+	}
+	_ = proba
+	return response{outcome: "served", joules: chargeJoules(cost)}
+}
+
+// degradedFallbackDiscards models a breaker fallback that throws away
+// the probe batch's cost: the fallback answer is cheap, but the probe
+// compute already happened.
+func degradedFallbackDiscards(breakerOpen bool) response {
+	if breakerOpen {
+		proba, _ := predictBatch(1) // want "\\[meteredcost\\] ml.Cost result of predictBatch is discarded \\(bound to _\\)"
+		_ = proba
+		return response{outcome: "degraded"}
+	}
+	return response{outcome: "served"}
+}
+
+// panicRecoveryDropsCost models a recover branch that abandons the
+// partial batch cost: the panicking predict still burned its FLOPs.
+func panicRecoveryDropsCost() (resp response, err error) {
+	proba, cost := predictBatch(4) // want "\\[meteredcost\\] ml.Cost \"cost\" may go unmetered"
+	if len(proba) == 0 {
+		return response{}, errors.New("predict failed")
+	}
+	return response{outcome: "served", joules: chargeJoules(cost)}, nil
+}
+
+// shedBeforePredict is compliant: a request refused at admission never
+// reached predict, so there is no cost obligation to discharge.
+func shedBeforePredict(queueFull bool) response {
+	if queueFull {
+		return response{outcome: "shed"}
+	}
+	_, cost := predictBatch(1)
+	return response{outcome: "served", joules: chargeJoules(cost)}
+}
+
+// resolveChargesEveryOutcome is the engine's actual shape: the cost is
+// converted to joules once, before the outcome branch, so served,
+// expired and failed all charge the same batch compute.
+func resolveChargesEveryOutcome(deadlineExpired, panicked bool) response {
+	_, cost := predictBatch(8)
+	joules := chargeJoules(cost)
+	switch {
+	case panicked:
+		return response{outcome: "failed", joules: joules}
+	case deadlineExpired:
+		return response{outcome: "expired", joules: joules}
+	default:
+		return response{outcome: "served", joules: joules}
+	}
+}
+
+// timeoutTruncatesButStillCharges is compliant: the abandoned batch's
+// cost is read to bound the charge even though its answer is discarded.
+func timeoutTruncatesButStillCharges(timeout float64) response {
+	proba, cost := predictBatch(8)
+	burned := cost.Total()
+	if burned > timeout {
+		return response{outcome: "failed", joules: timeout}
+	}
+	_ = proba
+	return response{outcome: "served", joules: burned}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import "time"
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes requests to the primary model.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits every request to the fallback tier
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets the next batch probe the primary model: a
+	// success closes the breaker, a failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is the per-model circuit breaker. It runs on the engine's
+// virtual instants — every transition is a pure function of (state,
+// now), so the trip/half-open/close cycle is deterministically testable.
+// The zero value is not ready; use newBreaker.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state       BreakerState
+	consecutive int
+	openedAt    time.Duration
+	trips       int
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// State reports the breaker position at instant now, performing the
+// time-based Open → HalfOpen transition.
+func (b *Breaker) State(now time.Duration) BreakerState {
+	if b.state == BreakerOpen && now >= b.openedAt+b.cooldown {
+		b.state = BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() int { return b.trips }
+
+// Fail records a predict failure (panic or timeout) at instant now. In
+// HalfOpen the probe failed: re-open immediately. In Closed, trip once
+// the consecutive-failure threshold is reached.
+func (b *Breaker) Fail(now time.Duration) {
+	switch b.State(now) {
+	case BreakerHalfOpen:
+		b.open(now)
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.open(now)
+		}
+	}
+}
+
+// OK records a successful predict at instant now, closing a half-open
+// breaker and clearing the failure streak.
+func (b *Breaker) OK(now time.Duration) {
+	b.State(now)
+	b.state = BreakerClosed
+	b.consecutive = 0
+}
+
+func (b *Breaker) open(now time.Duration) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.consecutive = 0
+	b.trips++
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+)
+
+func writeTestJournal(t *testing.T, path string, n int) float64 {
+	t.Helper()
+	j, err := NewJournal(path, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		r := Response{
+			ID:      uint64(i),
+			Outcome: Outcome(i % int(numOutcomes)),
+			Class:   i % 3,
+			Done:    time.Duration(i) * time.Millisecond,
+			Latency: time.Duration(i) * 100 * time.Microsecond,
+			Joules:  float64(i) * 0.125,
+		}
+		sum += r.Joules
+		j.Append(&r)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	sum := writeTestJournal(t, path, 20)
+	rep, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != "unit" || len(rep.Records) != 20 || rep.Torn || rep.Damaged != 0 {
+		t.Fatalf("replay: model %q, %d records, torn %v, damaged %d",
+			rep.Model, len(rep.Records), rep.Torn, rep.Damaged)
+	}
+	// JSON float64 round-trips exactly (shortest-representation
+	// encoding), so the durable ledger conserves bit-for-bit.
+	if rep.TotalJoules() != sum {
+		t.Fatalf("journal ledger %v J, wrote %v J", rep.TotalJoules(), sum)
+	}
+	if rep.Records[5].Outcome != Outcome(5%int(numOutcomes)).String() {
+		t.Fatalf("record 5 outcome %q", rep.Records[5].Outcome)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	writeTestJournal(t, path, 10)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill mid-write: the trailing line loses its last 7 bytes.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || rep.Damaged != 0 || len(rep.Records) != 9 {
+		t.Fatalf("torn tail: torn %v damaged %d records %d, want true/0/9", rep.Torn, rep.Damaged, len(rep.Records))
+	}
+}
+
+func TestJournalInteriorDamageSkippedAndCounted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	writeTestJournal(t, path, 10)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte in the middle of the file (not the last line).
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged != 1 || rep.Torn || len(rep.Records) != 9 {
+		t.Fatalf("interior damage: torn %v damaged %d records %d, want false/1/9", rep.Torn, rep.Damaged, len(rep.Records))
+	}
+}
+
+func TestJournalEngineIntegration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	e := testEngine(t, &scriptedPredictor{classes: 2}, Config{BatchWindow: time.Millisecond})
+	j, err := NewJournal(path, "scripted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetJournal(j)
+	for i := 0; i < 8; i++ {
+		e.Submit(Request{ID: uint64(i), Row: []float64{float64(i % 2)}, Arrival: time.Duration(i) * 100 * time.Microsecond})
+	}
+	e.Drain(time.Second)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 8 {
+		t.Fatalf("journal holds %d records for 8 requests", len(rep.Records))
+	}
+	// The durable ledger IS the conservation ledger: journal order is
+	// resolution order, so the sum matches the tracker bit-exactly.
+	if got := e.Tracker().Joules(energy.Inference); got != rep.TotalJoules() {
+		t.Fatalf("journal ledger %v J, tracker %v J", rep.TotalJoules(), got)
+	}
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/ml"
+)
+
+// serverModel is a cheap model for wall-clock tests: 20 generic FLOPs
+// per row is 10µs of virtual work on the test machine, so the engine's
+// virtual timeline never outruns the wall timer driving it.
+func serverModel(p Predictor) *Model {
+	return &Model{
+		Name:     "wall",
+		Pred:     p,
+		Classes:  2,
+		Majority: 1,
+		Priors:   []float64{0.25, 0.75},
+		RowCost:  ml.Cost{Generic: 20},
+	}
+}
+
+func newTestServer(t *testing.T, p Predictor, journal string) (*Server, *Engine) {
+	t.Helper()
+	e := NewEngine(serverModel(p), hw.XeonGold6132(), Config{
+		BatchWindow: time.Millisecond,
+		BatchMax:    8,
+		QueueCap:    256,
+	})
+	if journal != "" {
+		j, err := NewJournal(journal, "wall")
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetJournal(j)
+		t.Cleanup(func() { j.Close() })
+	}
+	return NewServer(e), e
+}
+
+func TestServerConcurrentPredict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	s, e := newTestServer(t, &scriptedPredictor{classes: 2}, path)
+
+	const callers = 32
+	var wg sync.WaitGroup
+	resps := make([]Response, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = s.Predict([]float64{float64(i % 2)}, 0)
+		}(i)
+	}
+	wg.Wait()
+	s.Drain()
+
+	for i, r := range resps {
+		if r.Outcome != Served {
+			t.Fatalf("caller %d: outcome %s (%s)", i, r.Outcome, r.Err)
+		}
+		if r.Class != i%2 {
+			t.Fatalf("caller %d: class %d, want %d", i, r.Class, i%2)
+		}
+		if r.Joules <= 0 || r.Latency <= 0 {
+			t.Fatalf("caller %d: joules %v latency %v", i, r.Joules, r.Latency)
+		}
+	}
+	st := s.Stats()
+	if st.Outcomes[Served] != callers {
+		t.Fatalf("stats served %d, want %d", st.Outcomes[Served], callers)
+	}
+
+	// Conservation survives the wall-clock bridge: the journal replays
+	// in resolution order, so its sum bit-equals the tracker.
+	rep, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != callers {
+		t.Fatalf("journal holds %d records, want %d", len(rep.Records), callers)
+	}
+	if got := e.Tracker().Joules(energy.Inference); got != rep.TotalJoules() {
+		t.Fatalf("journal ledger %v J, tracker %v J", rep.TotalJoules(), got)
+	}
+}
+
+func TestServerReloadMidTraffic(t *testing.T) {
+	s, _ := newTestServer(t, &scriptedPredictor{classes: 2}, "")
+
+	const callers = 24
+	var wg sync.WaitGroup
+	resps := make([]Response, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = s.Predict([]float64{1}, 0)
+		}(i)
+		if i == callers/2 {
+			s.Reload(serverModel(alwaysClass0{&scriptedPredictor{classes: 2}}))
+		}
+	}
+	wg.Wait()
+	s.Drain()
+
+	// No caller is dropped by the swap; each is served by whichever
+	// model owned its batch (class 1 before, class 0 after).
+	for i, r := range resps {
+		if r.Outcome != Served {
+			t.Fatalf("caller %d: outcome %s (%s)", i, r.Outcome, r.Err)
+		}
+		if r.Class != 0 && r.Class != 1 {
+			t.Fatalf("caller %d: class %d", i, r.Class)
+		}
+	}
+	if got := s.Stats().Model; got != "wall" {
+		t.Fatalf("stats model %q after reload", got)
+	}
+}
+
+func TestServerDrainUnblocksAndSheds(t *testing.T) {
+	s, _ := newTestServer(t, &scriptedPredictor{classes: 2}, "")
+
+	var wg sync.WaitGroup
+	resps := make([]Response, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = s.Predict([]float64{0}, 0)
+		}(i)
+	}
+	// Let the callers enqueue, then drain before the window fires.
+	//greenlint:allow wallclock this test exercises the wall-time Server bridge itself; the sleep only spaces real enqueues from the drain
+	time.Sleep(200 * time.Microsecond)
+	s.Drain()
+	wg.Wait()
+
+	for i, r := range resps {
+		if r.Outcome != Served && r.Outcome != Shed {
+			t.Fatalf("caller %d: outcome %s after drain", i, r.Outcome)
+		}
+	}
+	// After drain every Predict resolves immediately as shed.
+	if r := s.Predict([]float64{0}, 0); r.Outcome != Shed {
+		t.Fatalf("post-drain predict: %s, want shed", r.Outcome)
+	}
+	// Drain is idempotent.
+	s.Drain()
+}
+
+func TestServerDegradedUnderPanics(t *testing.T) {
+	s, _ := newTestServer(t, &scriptedPredictor{
+		classes: 2,
+		failAt:  func(int) string { return "panic" },
+	}, "")
+
+	// Sequential callers so the breaker's consecutive-failure count
+	// builds deterministically; threshold is the default 4.
+	sawDegraded := false
+	for i := 0; i < 12; i++ {
+		r := s.Predict([]float64{0}, 0)
+		switch r.Outcome {
+		case Failed:
+		case Degraded:
+			sawDegraded = true
+			if r.Class != 1 {
+				t.Fatalf("degraded class %d, want majority 1", r.Class)
+			}
+		default:
+			t.Fatalf("caller %d: outcome %s", i, r.Outcome)
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("breaker never degraded under sustained panics")
+	}
+	s.Drain()
+}

@@ -14,10 +14,13 @@
 # site carries "//greenlint:allow wallclock <reason>"; the only
 # sanctioned pattern is operator-facing liveness machinery whose verdict
 # never reaches a measured quantity, e.g. the cell watchdog's probe
-# ticker (internal/bench/scheduler.go) and the coordinator's
+# ticker (internal/bench/scheduler.go), the coordinator's
 # process-deadline timer over shard journal growth
-# (internal/bench/coordinator.go). The reason must say why the site
-# cannot influence recorded results.
+# (internal/bench/coordinator.go), and the serving daemon's
+# batch-window timer (internal/serve/server.go) — the wall timer only
+# decides *when* a queued batch flushes; latency, joules, and every
+# other measured quantity stay on the virtual clock. The reason must
+# say why the site cannot influence recorded results.
 #
 # Goroutine launches in internal/ml are likewise rejected unless they
 # carry "//greenlint:allow reduceorder <reason>" arguing the sanctioned
