@@ -35,6 +35,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metaopt"
 	"repro/internal/openml"
+	"repro/internal/repo"
 )
 
 // options holds every flag value, so validation is a pure function the
@@ -70,6 +71,11 @@ type options struct {
 	maxRestarts      int
 	stallProbes      int
 	stallInterval    time.Duration
+
+	repoDir          string
+	repoReadonly     bool
+	repoAllowDamage  bool
+	simulateEnsemble bool
 
 	// shardSpec is the parsed -shard value, filled by validate.
 	shardSpec bench.ShardSpec
@@ -107,13 +113,22 @@ func (o *options) validate() error {
 	}
 
 	modes := 0
-	for _, on := range []bool{o.shard != "", o.merge != "", o.coordinator} {
+	for _, on := range []bool{o.shard != "", o.merge != "", o.coordinator, o.simulateEnsemble} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-shard, -merge and -coordinator are mutually exclusive")
+		return fmt.Errorf("-shard, -merge, -coordinator and -simulate-ensemble are mutually exclusive")
+	}
+	if o.repoReadonly && o.repoDir == "" {
+		return fmt.Errorf("-repo-readonly only applies to -repo")
+	}
+	if o.repoAllowDamage && o.repoDir == "" {
+		return fmt.Errorf("-repo-allow-damage only applies to -repo")
+	}
+	if o.simulateEnsemble && o.repoDir == "" {
+		return fmt.Errorf("-simulate-ensemble needs -repo: it replays predictions the store holds")
 	}
 	if o.shard != "" {
 		spec, err := bench.ParseShardSpec(o.shard)
@@ -201,6 +216,10 @@ func main() {
 	flag.IntVar(&o.maxRestarts, "max-restarts", 2, "restarts each shard gets after its first launch before it degrades to a shard failure")
 	flag.IntVar(&o.stallProbes, "shard-stall-probes", 0, "probe intervals without shard journal growth before the coordinator SIGKILLs and restarts the shard (0 = off)")
 	flag.DurationVar(&o.stallInterval, "shard-stall-interval", 2*time.Second, "real-time probe period for -shard-stall-probes")
+	flag.StringVar(&o.repoDir, "repo", "", "content-addressed evaluation repository directory; stored cells replay without refitting, executed cells are written back")
+	flag.BoolVar(&o.repoReadonly, "repo-readonly", false, "consult -repo without writing executed cells back")
+	flag.BoolVar(&o.repoAllowDamage, "repo-allow-damage", false, "treat damaged -repo cells as misses (the cells rerun) instead of refusing the store")
+	flag.BoolVar(&o.simulateEnsemble, "simulate-ensemble", false, "simulate greedy ensemble selection over the predictions stored in -repo — no fits, lookup+blend energy only")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -212,6 +231,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(2)
+	}
+	if o.repoDir != "" {
+		rp, err := repo.Open(o.repoDir, repo.Options{ReadOnly: o.repoReadonly, AllowDamage: o.repoAllowDamage})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			os.Exit(1)
+		}
+		cfg.Repo = rp
 	}
 	meta := metaopt.Options{
 		Iterations:     o.metaIters,
@@ -231,6 +258,8 @@ func main() {
 		err = runMergeMode(o, cfg, meta)
 	case o.coordinator:
 		err = runCoordinatorMode(o, cfg, meta)
+	case o.simulateEnsemble:
+		err = runSimulateMode(cfg)
 	default:
 		ids := experimentIDs(o.experiment)
 		err = run(ids, cfg, meta, o.csvPath, o.jsonPath, o.svgDir, o.reportDir, o.journal, nil)
@@ -303,6 +332,24 @@ func runShardMode(o options, cfg bench.Config) error {
 	if run.Damaged > 0 {
 		fmt.Fprintf(os.Stderr, "greenbench: shard %s: %d damaged journal line(s) were skipped and their cells rerun\n", o.shardSpec, run.Damaged)
 	}
+	if run.Repo.Consulted() {
+		fmt.Fprintf(os.Stderr, "greenbench: shard %s: %s\n", o.shardSpec, run.Repo.Summary())
+	}
+	return nil
+}
+
+// runSimulateMode replays stored predictions as simulated ensembles: a
+// pure repository analysis that fits nothing and charges only the
+// lookup-and-blend compute it actually performs.
+func runSimulateMode(cfg bench.Config) error {
+	res, err := bench.SimulateEnsembles(bench.DefaultSystems(), cfg, cfg.Repo)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	if res.Damaged > 0 {
+		fmt.Fprintf(os.Stderr, "greenbench: simulate-ensemble: %d damaged repository entr(ies) were skipped\n", res.Damaged)
+	}
 	return nil
 }
 
@@ -331,12 +378,15 @@ func mergePaths(arg string) ([]string, error) {
 }
 
 // mergeJournals fuses shard journals into the canonical fig3 record
-// sequence and reports per-journal coverage and damage.
+// sequence and reports per-journal coverage and damage. With a
+// repository configured, journal holes are fused from the store and the
+// repository's hit and damage counts are surfaced alongside the journal
+// damage counters.
 func mergeJournals(paths []string, cfg bench.Config) (*bench.MergeResult, error) {
 	systems := bench.DefaultSystems()
 	fingerprint := bench.Fingerprint(systems, cfg)
 	refs := bench.EnumerateCellRefs(systems, cfg)
-	res, err := bench.MergeJournals(paths, fingerprint, refs)
+	res, err := bench.MergeJournalsRepo(paths, fingerprint, refs, cfg.Repo)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +396,9 @@ func mergeJournals(paths []string, cfg bench.Config) (*bench.MergeResult, error)
 			shard = "whole-grid"
 		}
 		fmt.Fprintf(os.Stderr, "greenbench: merge: %s (shard %s): %d cell(s), %d damaged line(s)\n", jr.Path, shard, jr.Cells, jr.Damaged)
+	}
+	if cfg.Repo != nil {
+		fmt.Fprintf(os.Stderr, "greenbench: merge: repository: %d cell(s) fused from the store, %d damaged\n", res.RepoHits, res.RepoDamaged)
 	}
 	return res, nil
 }
@@ -457,6 +510,15 @@ func forwardedArgs(o options) []string {
 	if o.quick {
 		args = append(args, "-quick")
 	}
+	if o.repoDir != "" {
+		args = append(args, "-repo", o.repoDir)
+		if o.repoReadonly {
+			args = append(args, "-repo-readonly")
+		}
+		if o.repoAllowDamage {
+			args = append(args, "-repo-allow-damage")
+		}
+	}
 	return args
 }
 
@@ -479,6 +541,9 @@ func run(ids []string, cfg bench.Config, meta metaopt.Options, csvPath, jsonPath
 			fig3 = &r
 			if fig3.JournalDamaged > 0 {
 				fmt.Fprintf(os.Stderr, "greenbench: journal: %d damaged checkpoint line(s) were skipped and their cells rerun\n", fig3.JournalDamaged)
+			}
+			if fig3.Repo.Consulted() {
+				fmt.Fprintf(os.Stderr, "greenbench: %s\n", fig3.Repo.Summary())
 			}
 		}
 		return fig3

@@ -181,6 +181,48 @@ func TestOptionsValidate(t *testing.T) {
 			o.merge = "a.jsonl"
 			o.experiment = "fig3,table8"
 		}, wantErr: "reruns a grid"},
+
+		{name: "repo alone", mutate: func(o *options) {
+			o.repoDir = "store"
+		}},
+		{name: "repo readonly", mutate: func(o *options) {
+			o.repoDir = "store"
+			o.repoReadonly = true
+		}},
+		{name: "repo allow damage", mutate: func(o *options) {
+			o.repoDir = "store"
+			o.repoAllowDamage = true
+		}},
+		{name: "repo with shard", mutate: func(o *options) {
+			o.repoDir = "store"
+			o.shard = "0/2"
+			o.journal = "s0.jsonl"
+		}},
+		{name: "simulate ensemble", mutate: func(o *options) {
+			o.repoDir = "store"
+			o.simulateEnsemble = true
+		}},
+		{name: "readonly without repo", mutate: func(o *options) {
+			o.repoReadonly = true
+		}, wantErr: "-repo-readonly"},
+		{name: "allow damage without repo", mutate: func(o *options) {
+			o.repoAllowDamage = true
+		}, wantErr: "-repo-allow-damage"},
+		{name: "simulate ensemble without repo", mutate: func(o *options) {
+			o.simulateEnsemble = true
+		}, wantErr: "-simulate-ensemble needs -repo"},
+		{name: "simulate ensemble with merge", mutate: func(o *options) {
+			o.repoDir = "store"
+			o.simulateEnsemble = true
+			o.merge = "a.jsonl"
+		}, wantErr: "mutually exclusive"},
+		{name: "simulate ensemble with coordinator", mutate: func(o *options) {
+			o.repoDir = "store"
+			o.simulateEnsemble = true
+			o.coordinator = true
+			o.shards = 2
+			o.shardDir = "run"
+		}, wantErr: "mutually exclusive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -37,6 +38,12 @@ func TestValidate(t *testing.T) {
 		{"artifact from tabpfn rejected", func(o *options) { o.system = "tabpfn"; o.saveArtifact = "m.model" }, "-save-artifact"},
 		{"artifact from autogluon rejected", func(o *options) { o.system = "autogluon"; o.saveArtifact = "m.model" }, "-save-artifact"},
 		{"tabpfn without artifact ok", func(o *options) { o.system = "tabpfn" }, ""},
+		{"zeroshot ok", func(o *options) { o.system = "zeroshot" }, ""},
+		{"repo ok", func(o *options) { o.repoDir = "store" }, ""},
+		{"repo readonly ok", func(o *options) { o.repoDir = "store"; o.repoReadonly = true }, ""},
+		{"readonly without repo", func(o *options) { o.repoReadonly = true }, "-repo-readonly"},
+		{"repo with save-artifact", func(o *options) { o.repoDir = "store"; o.saveArtifact = "m.model" }, "mutually exclusive"},
+		{"repo with timeline", func(o *options) { o.repoDir = "store"; o.timeline = "t.csv" }, "mutually exclusive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +114,70 @@ func TestRunSaveArtifactRoundTrip(t *testing.T) {
 	resps = append(resps, eng.Drain(time.Second)...)
 	if len(resps) != 1 || resps[0].Outcome != serve.Served {
 		t.Fatalf("serving the saved artifact: %v", resps)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v\noutput:\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+// TestRunRepoWarmReplay runs the same dataset twice against a
+// repository: the cold run stores its outcome, the warm run replays it
+// without fitting, and both print the identical report lines.
+func TestRunRepoWarmReplay(t *testing.T) {
+	o := options{
+		dataPath:  writeTestCSV(t),
+		system:    "caml",
+		budget:    2 * time.Second,
+		cores:     1,
+		seed:      5,
+		splitSeed: 7,
+		repoDir:   filepath.Join(t.TempDir(), "store"),
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	cold := captureStdout(t, func() error { return run(o) })
+	if !strings.Contains(cold, "repository:         stored") {
+		t.Fatalf("cold run did not store:\n%s", cold)
+	}
+	warm := captureStdout(t, func() error { return run(o) })
+	if !strings.Contains(warm, "no fit performed") {
+		t.Fatalf("warm run did not hit the store:\n%s", warm)
+	}
+	// Every report line above the repository status must match exactly.
+	trim := func(s string) string {
+		i := strings.Index(s, "repository:")
+		return s[:i]
+	}
+	if trim(cold) != trim(warm) {
+		t.Fatalf("warm report diverged from cold\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+
+	// A different seed is a different run: it must miss and store anew.
+	o.seed = 6
+	other := captureStdout(t, func() error { return run(o) })
+	if !strings.Contains(other, "repository:         stored") {
+		t.Fatalf("changed seed did not miss:\n%s", other)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/metaopt"
 	"repro/internal/metrics"
 	"repro/internal/openml"
+	"repro/internal/pipeline"
 	"repro/internal/tabular"
 )
 
@@ -92,7 +93,17 @@ var (
 	TPOT = func() System { return automl.NewTPOT() }
 	// CAML builds the constraint-aware system with default parameters.
 	CAML = func() System { return automl.NewCAML() }
+	// ZeroShot builds the zero-shot portfolio system: a fixed,
+	// meta-learned sequence of pipeline configurations trained without
+	// any per-dataset search (the evaluation repository's system).
+	ZeroShot = func() System { return automl.NewZeroShot() }
 )
+
+// ZeroShotPortfolio builds the zero-shot system over a custom portfolio
+// — typically one meta-learned from an evaluation repository.
+func ZeroShotPortfolio(portfolio []pipeline.Config) System {
+	return automl.NewZeroShotPortfolio(portfolio)
+}
 
 // TunedCAML returns CAML configured with development-stage-tuned
 // parameters for the given search budget (paper §3.7). Run Tune for a real

@@ -118,17 +118,25 @@ func (r *Result) Predict(x tabular.View, meter *energy.Meter) ([]int, error) {
 
 // PredictProba returns class probabilities, charging inference energy.
 func (r *Result) PredictProba(x tabular.View, meter *energy.Meter) ([][]float64, error) {
+	proba, _, err := r.PredictProbaCost(x, meter) //greenlint:allow meteredcost PredictProbaCost charges the cost to the meter itself; the copy is for callers that also persist it
+	return proba, err
+}
+
+// PredictProbaCost is PredictProba plus the raw inference ml.Cost, for
+// callers that persist the cost alongside the predictions (the
+// evaluation repository) in addition to charging it to the meter.
+func (r *Result) PredictProbaCost(x tabular.View, meter *energy.Meter) ([][]float64, ml.Cost, error) {
 	if r.Predictor == nil {
-		return nil, fmt.Errorf("automl: %s produced no predictor", r.System)
+		return nil, ml.Cost{}, fmt.Errorf("automl: %s produced no predictor", r.System)
 	}
 	proba, cost := r.Predictor.PredictProba(x)
 	// Charge before the nil check: the predictor spent the compute
 	// whether or not it produced usable probabilities.
 	chargeCost(meter, energy.Inference, cost, 0)
 	if proba == nil {
-		return nil, fmt.Errorf("automl: %s predictor returned no probabilities", r.System)
+		return nil, cost, fmt.Errorf("automl: %s predictor returned no probabilities", r.System)
 	}
-	return proba, nil
+	return proba, cost, nil
 }
 
 // chargeCost runs a model cost through the meter at the given stage.

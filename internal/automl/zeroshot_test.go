@@ -1,0 +1,121 @@
+package automl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/hw"
+	"repro/internal/openml"
+	"repro/internal/pipeline"
+)
+
+func TestZeroShotFit(t *testing.T) {
+	specs := openml.Suite()
+	ds := openml.Generate(specs[0], openml.SmallScale(), 1)
+	train, test := ds.All().TrainTestSplit(newTestRNG(7))
+
+	meter := energy.NewMeter(hw.XeonGold6132(), 1)
+	z := NewZeroShot()
+	if z.Name() != "ZeroShot" {
+		t.Fatalf("name = %q", z.Name())
+	}
+	if z.MinBudget() != 0 {
+		t.Fatal("zero-shot should accept any budget")
+	}
+	res, err := z.Fit(train, Options{Budget: 10 * time.Second, Meter: meter, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predictor == nil {
+		t.Fatal("no predictor")
+	}
+	if res.Evaluated < 1 {
+		t.Fatalf("evaluated %d members, want >= 1", res.Evaluated)
+	}
+	if res.BestConfig == nil || res.BestSpec == nil {
+		t.Fatal("zero-shot should expose its winning recipe")
+	}
+	pred, err := res.Predict(test, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != test.Rows() {
+		t.Fatalf("predicted %d rows, want %d", len(pred), test.Rows())
+	}
+}
+
+func TestZeroShotDeterministic(t *testing.T) {
+	specs := openml.Suite()
+	ds := openml.Generate(specs[1], openml.SmallScale(), 2)
+	train, _ := ds.All().TrainTestSplit(newTestRNG(7))
+
+	fit := func() *Result {
+		meter := energy.NewMeter(hw.XeonGold6132(), 1)
+		res, err := NewZeroShot().Fit(train, Options{Budget: 5 * time.Second, Meter: meter, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := fit(), fit()
+	if a.ValScore != b.ValScore || a.Evaluated != b.Evaluated || a.ExecKWh != b.ExecKWh {
+		t.Fatalf("non-deterministic: (%v,%d,%v) vs (%v,%d,%v)",
+			a.ValScore, a.Evaluated, a.ExecKWh, b.ValScore, b.Evaluated, b.ExecKWh)
+	}
+}
+
+func TestDefaultZeroShotPortfolio(t *testing.T) {
+	p := DefaultZeroShotPortfolio()
+	if len(p) < 6 {
+		t.Fatalf("portfolio has %d members", len(p))
+	}
+	seen := map[string]bool{}
+	for _, cfg := range p {
+		k := cfg.Key()
+		if seen[k] {
+			t.Fatalf("duplicate portfolio member %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMetaLearnPortfolio(t *testing.T) {
+	cfg := func(v float64) pipeline.Config { return pipeline.Config{"model": v} }
+	evals := []PortfolioEvaluation{
+		// Config 0 is strong on dsA, config 1 on dsB, config 2 is
+		// uniformly mediocre — greedy coverage should pick 0 and 1
+		// before 2 even though 2's average beats 1's.
+		{Dataset: "dsA", Config: cfg(0), Score: 0.9},
+		{Dataset: "dsB", Config: cfg(0), Score: 0.1},
+		{Dataset: "dsA", Config: cfg(1), Score: 0.1},
+		{Dataset: "dsB", Config: cfg(1), Score: 0.9},
+		{Dataset: "dsA", Config: cfg(2), Score: 0.5},
+		{Dataset: "dsB", Config: cfg(2), Score: 0.5},
+	}
+	got := MetaLearnPortfolio(evals, 2)
+	if len(got) != 2 {
+		t.Fatalf("portfolio size %d, want 2", len(got))
+	}
+	picked := map[float64]bool{got[0]["model"]: true, got[1]["model"]: true}
+	if !picked[0] || !picked[1] {
+		t.Fatalf("greedy cover picked %v, want models 0 and 1", picked)
+	}
+
+	// Empty input degrades to the default portfolio, not an empty system.
+	if len(MetaLearnPortfolio(nil, 4)) == 0 {
+		t.Fatal("empty evals should fall back to the default portfolio")
+	}
+
+	// Determinism: same evals, same portfolio order.
+	a := MetaLearnPortfolio(evals, 3)
+	b := MetaLearnPortfolio(evals, 3)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic size")
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("non-deterministic order at %d", i)
+		}
+	}
+}

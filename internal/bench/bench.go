@@ -10,10 +10,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/automl"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/openml"
+	"repro/internal/repo"
 	"repro/internal/tabular"
 )
 
@@ -81,7 +84,33 @@ type Config struct {
 	// from the grid fingerprint; the shard journal header binds the
 	// shard assignment separately.
 	Shard ShardSpec
+	// Repo, when set, is the content-addressed evaluation repository
+	// every cell consults before executing: a stored cell replays its
+	// record (byte-identical to a live run, zero fits), a miss executes
+	// and writes its predictions, score and costs back (unless the
+	// repository is read-only). Like Workers and Shard it is an
+	// execution knob — where records come from, never what they are —
+	// and is therefore excluded from the grid fingerprint; the
+	// repository keys its entries by that fingerprint instead.
+	Repo *repo.Repository
 }
+
+// RepoStats summarizes one grid run's evaluation-repository traffic.
+type RepoStats struct {
+	// Hits counts cells replayed from the repository without executing.
+	Hits int
+	// Misses counts cells the repository did not hold (they executed).
+	Misses int
+	// Damaged counts cells whose stored bytes failed verification and
+	// were treated as misses (only possible with AllowDamage; without
+	// it, damage aborts the run instead).
+	Damaged int
+	// Stored counts cells written back after executing.
+	Stored int
+}
+
+// Consulted reports whether a repository took part in the run.
+func (s RepoStats) Consulted() bool { return s != RepoStats{} }
 
 // WatchdogPolicy is the stall watchdog's configuration: a cell whose
 // virtual clock stops advancing across Probes consecutive real-time
@@ -236,8 +265,10 @@ func (r Record) Kind() faults.Kind {
 	return r.Failure
 }
 
-// DefaultSystems returns the benchmark's system lineup (paper §2.2),
-// excluding CAML(tuned), which needs a development-stage artifact.
+// DefaultSystems returns the benchmark's system lineup: the paper's
+// seven systems (§2.2, excluding CAML(tuned), which needs a
+// development-stage artifact) plus the zero-shot portfolio system the
+// evaluation repository enables.
 func DefaultSystems() []automl.System {
 	return []automl.System{
 		automl.NewTabPFN(),
@@ -247,6 +278,7 @@ func DefaultSystems() []automl.System {
 		automl.NewAutoSklearn1(),
 		automl.NewAutoSklearn2(),
 		automl.NewTPOT(),
+		automl.NewZeroShot(),
 	}
 }
 
@@ -255,32 +287,44 @@ func DefaultSystems() []automl.System {
 // the paper (ASKL starts at 30s, TPOT at 1m, TabPFN runs once per
 // budget regardless).
 func RunGrid(systems []automl.System, cfg Config) []Record {
-	records, _ := runGrid(systems, cfg, nil)
+	records, _, _ := runGrid(systems, cfg, nil)
 	return records
 }
 
 // runGrid executes the grid: it enumerates every cell (hoisting dataset
-// generation, train/test splits and journal lookups out of the execution
-// path), then runs the cells serially or on a bounded worker pool
-// depending on cfg.Workers. Cells are independent — their RNG streams
-// derive from cell identity, not shared state — so a resumed run (or a
-// parallel one) replays the remaining cells exactly as an uninterrupted
-// serial run would, and the returned records are byte-identical at every
-// worker count.
-func runGrid(systems []automl.System, cfg Config, journal *Journal) ([]Record, error) {
+// generation, train/test splits, journal lookups and repository
+// consultation out of the execution path), then runs the cells serially
+// or on a bounded worker pool depending on cfg.Workers. Cells are
+// independent — their RNG streams derive from cell identity, not shared
+// state — so a resumed run (or a parallel one) replays the remaining
+// cells exactly as an uninterrupted serial run would, and the returned
+// records are byte-identical at every worker count.
+func runGrid(systems []automl.System, cfg Config, journal *Journal) ([]Record, RepoStats, error) {
 	cfg = cfg.normalized()
 	inj := faults.New(cfg.Faults)
-	cells := enumerateGrid(systems, cfg, inj, journal)
+	fingerprint := ""
+	if cfg.Repo != nil || cfg.Shard.Enabled() {
+		fingerprint = Fingerprint(systems, cfg)
+	}
+	cells, stats, err := enumerateGrid(systems, cfg, inj, journal, fingerprint)
+	if err != nil {
+		return nil, stats, err
+	}
 	// Hand idle cores to the kernels for the duration of the grid. The
 	// knob is global but harmless if grids overlap: every kernel is
 	// bit-identical at every level, so a racing Set can only shift
 	// wall-clock time, never a record.
 	prev := ml.SetParallelism(cellParallelism(cfg, cells))
 	defer ml.SetParallelism(prev)
+	var records []Record
+	var stored int
 	if cfg.Workers == 1 {
-		return runGridSerial(cells, cfg, inj, journal)
+		records, stored, err = runGridSerial(cells, cfg, inj, journal, fingerprint)
+	} else {
+		records, stored, err = runGridParallel(cells, cfg, inj, journal, fingerprint)
 	}
-	return runGridParallel(cells, cfg, inj, journal)
+	stats.Stored = stored
+	return records, stats, err
 }
 
 // cellParallelism resolves the within-cell worker budget for a grid:
@@ -318,10 +362,23 @@ func generateDataset(spec openml.Spec, cfg Config, inj *faults.Injector) (*tabul
 	return nil, lastErr
 }
 
+// fitProbe counts every Fit attempt the process performs. It exists for
+// the repository's zero-fit guarantee: a warm (fully cache-hit) rerun
+// must not train anything, and tests assert it through this counter
+// rather than trusting hit statistics.
+var fitProbe atomic.Int64
+
+// FitProbeCount reports the Fit attempts performed since the last reset.
+func FitProbeCount() int64 { return fitProbe.Load() }
+
+// ResetFitProbe zeroes the fit counter (test setup).
+func ResetFitProbe() { fitProbe.Store(0) }
+
 // safeFit invokes sys.Fit with panic recovery: a crashing trainer is
 // converted into a typed fit-panic error so one cell can never abort the
 // grid.
 func safeFit(sys automl.System, train tabular.View, opts automl.Options) (res *automl.Result, err error) {
+	fitProbe.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -335,12 +392,14 @@ func safeFit(sys automl.System, train tabular.View, opts automl.Options) (res *a
 	return sys.Fit(train, opts)
 }
 
-// safePredict invokes res.Predict with panic recovery, converting panics
-// into typed predict-error faults.
-func safePredict(res *automl.Result, x tabular.View, meter *energy.Meter) (pred []int, err error) {
+// safePredictProba invokes res.PredictProbaCost with panic recovery,
+// converting panics into typed predict-error faults. The probabilities
+// and their cost come back alongside so the caller can both derive
+// labels (metrics.ArgmaxRows) and persist the prediction slab.
+func safePredictProba(res *automl.Result, x tabular.View, meter *energy.Meter) (proba [][]float64, cost ml.Cost, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			pred = nil
+			proba = nil
 			if fe, ok := r.(*faults.Error); ok {
 				err = fe
 				return
@@ -348,7 +407,19 @@ func safePredict(res *automl.Result, x tabular.View, meter *energy.Meter) (pred 
 			err = &faults.Error{Kind: faults.PredictError, Site: "predict/" + res.System, Err: fmt.Errorf("panic: %v", r)}
 		}
 	}()
-	return res.Predict(x, meter)
+	return res.PredictProbaCost(x, meter)
+}
+
+// cellPayload is what a freshly executed cell contributes to the
+// evaluation repository beyond its Record: the prediction probabilities
+// the score came from, their inference cost, and the winning pipeline
+// configuration (nil for systems without a per-config recipe).
+type cellPayload struct {
+	proba     [][]float64
+	classes   int
+	inferCost ml.Cost
+	config    []byte
+	score     float64
 }
 
 // runCell executes one grid cell under the resilience policy: panics
@@ -356,7 +427,7 @@ func safePredict(res *automl.Result, x tabular.View, meter *energy.Meter) (pred 
 // on the same meter (their energy stays charged), and exhausted retries
 // degrade to the majority-class fallback predictor so the cell still
 // yields a score.
-func runCell(sys automl.System, train, test tabular.View, budget time.Duration, cfg Config, seed uint64, inj *faults.Injector) Record {
+func runCell(sys automl.System, train, test tabular.View, budget time.Duration, cfg Config, seed uint64, inj *faults.Injector) (Record, *cellPayload) {
 	rec := Record{
 		System:  sys.Name(),
 		Dataset: train.Name(),
@@ -425,7 +496,10 @@ func runCell(sys automl.System, train, test tabular.View, budget time.Duration, 
 			inferMeter.SetGPUMode(energy.GPUIdle)
 		}
 	}
-	pred, err := safePredict(res, test, inferMeter)
+	var inferCost ml.Cost
+	proba, cost, err := safePredictProba(res, test, inferMeter)
+	inferCost.Add(cost)
+	searched := res
 	if err != nil {
 		if rec.Failure == faults.None {
 			rec.Failure = faults.KindOf(err, faults.PredictError)
@@ -433,19 +507,35 @@ func runCell(sys automl.System, train, test tabular.View, budget time.Duration, 
 		// The execution measurements above survive this stage-level
 		// failure; only the score degrades to the fallback predictor.
 		fb := automl.MajorityResult(sys.Name(), train)
-		pred, err = safePredict(fb, test, inferMeter)
+		proba, cost, err = safePredictProba(fb, test, inferMeter)
+		inferCost.Add(cost)
 		if err != nil {
-			return rec
+			return rec, nil
 		}
 		rec.Fallback = true
 	}
+	pred := metrics.ArgmaxRows(proba)
 	rec.TestScore = metrics.BalancedAccuracy(test.LabelsInto(nil), pred, test.Classes())
 	n := float64(test.Rows())
 	if n > 0 {
 		rec.InferKWhPerInst = inferMeter.Tracker().KWh(energy.Inference) / n
 		rec.InferTimePerInst = time.Duration(float64(inferMeter.Tracker().BusyTime(energy.Inference)) / n)
 	}
-	return rec
+	payload := &cellPayload{
+		proba:     proba,
+		classes:   test.Classes(),
+		inferCost: inferCost,
+		score:     rec.TestScore,
+	}
+	// The winning configuration feeds portfolio meta-learning — but
+	// only when the search's own recipe produced the stored score; a
+	// fallback's constant predictions prove nothing about the config.
+	if !rec.Fallback && len(searched.BestConfig) > 0 {
+		if cfgBytes, merr := json.Marshal(searched.BestConfig); merr == nil {
+			payload.config = cfgBytes
+		}
+	}
+	return rec, payload
 }
 
 // CellKey aggregates records by (system, budget).

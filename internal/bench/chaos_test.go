@@ -141,7 +141,7 @@ func TestChaosKillResumeByteIdentical(t *testing.T) {
 				}
 				kill := &chaosKill{mode: mode, at: at}
 				j.crash = kill.hook
-				_, err = runGrid(chaosSystems(), withWorkers(cfg, workers), j)
+				_, _, err = runGrid(chaosSystems(), withWorkers(cfg, workers), j)
 				j.Close()
 				if err == nil || !kill.fired {
 					t.Fatalf("%s: kill did not abort the run (err=%v, fired=%v)", name, err, kill.fired)

@@ -28,6 +28,9 @@ type Fig3Result struct {
 	// Zero for journal-less runs. It is surfaced in the run summary,
 	// never silently swallowed.
 	JournalDamaged int
+	// Repo reports the evaluation-repository traffic of the run; the
+	// zero value means no repository was configured.
+	Repo RepoStats
 }
 
 // Fig3 runs the paper's main grid: every system × budget × dataset × seed
@@ -48,6 +51,7 @@ func Fig3Resumable(cfg Config, journalPath string) (Fig3Result, error) {
 	}
 	res := Fig3FromRecords(cfg, run.Records)
 	res.JournalDamaged = run.Damaged
+	res.Repo = run.Repo
 	return res, nil
 }
 

@@ -401,5 +401,6 @@ func RunGridResumable(systems []automl.System, cfg Config, path string) ([]Recor
 		return nil, err
 	}
 	defer j.Close()
-	return runGrid(systems, cfg, j)
+	records, _, err := runGrid(systems, cfg, j)
+	return records, err
 }

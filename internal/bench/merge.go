@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"repro/internal/faults"
+	"repro/internal/repo"
 )
 
 // JournalReport describes one shard journal a merge consumed.
@@ -41,6 +42,13 @@ type MergeResult struct {
 	Damaged int
 	// PerJournal reports each input journal in argument order.
 	PerJournal []JournalReport
+	// RepoHits counts cells no journal covered that the evaluation
+	// repository supplied instead (MergeJournalsRepo only).
+	RepoHits int
+	// RepoDamaged counts repository cells that failed verification
+	// while filling journal holes (tolerated under AllowDamage; the
+	// cells stay missing).
+	RepoDamaged int
 }
 
 // loadJournal reads a journal without opening it for appends: header,
@@ -76,6 +84,19 @@ func loadJournal(path string) (*journalState, error) {
 // error, never a silent pick. Cells no journal covers are reported in
 // Missing and filled with shard-failure placeholder records.
 func MergeJournals(paths []string, fingerprint string, refs []CellRef) (*MergeResult, error) {
+	return MergeJournalsRepo(paths, fingerprint, refs, nil)
+}
+
+// MergeJournalsRepo is MergeJournals with an evaluation repository as a
+// second record source: cells no journal covers consult the store
+// before degrading to shard-failure placeholders. A shard whose journal
+// was lost entirely can thus still merge cleanly as long as its cells
+// were ever stored — the repository is the durable tier, journals the
+// incremental one. Repository records participate in the same
+// disagreement check as journal records would (they must match nothing,
+// since only journal holes consult the store), and damage follows the
+// repository's policy: counted under AllowDamage, an error otherwise.
+func MergeJournalsRepo(paths []string, fingerprint string, refs []CellRef, rp *repo.Repository) (*MergeResult, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("bench: merge needs at least one journal")
 	}
@@ -116,6 +137,20 @@ func MergeJournals(paths []string, fingerprint string, refs []CellRef) (*MergeRe
 			res.Records = append(res.Records, rec)
 			seen++
 			continue
+		}
+		if rp != nil {
+			rec, hit, damaged, err := repoLookup(rp, fingerprint, ref.ID())
+			if err != nil {
+				return nil, err
+			}
+			if damaged {
+				res.RepoDamaged++
+			}
+			if hit {
+				res.RepoHits++
+				res.Records = append(res.Records, rec)
+				continue
+			}
 		}
 		res.Missing = append(res.Missing, ref)
 		res.Records = append(res.Records, ref.failureRecord(faults.ShardFailure))

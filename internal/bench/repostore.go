@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/repo"
+	"repro/internal/tabular"
+)
+
+// Glue between the grid and the evaluation repository: records cross
+// the boundary as their canonical journal JSON (so a replayed cell is
+// byte-for-byte the record a live run would produce), probabilities as
+// contiguous slabs (so a hit is one copy), and the repository itself
+// stays bench-agnostic — it never decodes what it stores.
+
+// repoLookup consults the repository for one cell. hit reports a
+// verified entry whose record decoded; damaged reports a cell that
+// exists but failed verification and was tolerated (AllowDamage). A
+// refused damaged cell — or an entry whose record bytes do not decode,
+// which is damage the envelope CRC cannot see — returns an error.
+func repoLookup(rp *repo.Repository, fingerprint, id string) (rec Record, hit, damaged bool, err error) {
+	e, damaged, err := rp.Get(fingerprint, id)
+	if err != nil {
+		return Record{}, false, damaged, err
+	}
+	if e == nil {
+		return Record{}, false, damaged, nil
+	}
+	if err := json.Unmarshal(e.Record, &rec); err != nil {
+		if rp.AllowsDamage() {
+			return Record{}, false, true, nil
+		}
+		return Record{}, false, true, fmt.Errorf("bench: repository cell %s: %w: undecodable record: %w", id, repo.ErrDamaged, err)
+	}
+	if got := cellID(rec.System, rec.Dataset, rec.Budget, rec.Seed); got != id {
+		if rp.AllowsDamage() {
+			return Record{}, false, true, nil
+		}
+		return Record{}, false, true, fmt.Errorf("bench: repository cell %s: %w: record identifies as %s", id, repo.ErrDamaged, got)
+	}
+	return rec, true, false, nil
+}
+
+// storeCell writes one freshly executed cell back to the repository.
+// It reports whether an entry was stored: no-ops (no repository, a
+// read-only repository, or a cell that produced no predictions) return
+// (false, nil); an actual write failure is an error — a store that
+// silently drops cells would poison every later "warm" run's zero-fit
+// expectation.
+func storeCell(rp *repo.Repository, fingerprint, id string, rec Record, payload *cellPayload) (bool, error) {
+	if rp == nil || rp.ReadOnly() || payload == nil {
+		return false, nil
+	}
+	recBytes, err := json.Marshal(rec)
+	if err != nil {
+		return false, fmt.Errorf("bench: encoding record for repository: %w", err)
+	}
+	slab, err := tabular.FlattenRows(payload.proba, payload.classes)
+	if err != nil {
+		return false, fmt.Errorf("bench: flattening cell %s predictions: %w", id, err)
+	}
+	entry := &repo.Entry{
+		Fingerprint: fingerprint,
+		Key:         id,
+		System:      rec.System,
+		Dataset:     rec.Dataset,
+		Score:       payload.score,
+		Record:      recBytes,
+		Config:      payload.config,
+		Rows:        len(payload.proba),
+		Classes:     payload.classes,
+		Proba:       slab,
+		InferCost:   payload.inferCost,
+	}
+	if err := rp.Put(entry); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Summary renders the stats the way run summaries print them.
+func (s RepoStats) Summary() string {
+	return fmt.Sprintf("repository: %d hit(s), %d miss(es), %d damaged, %d stored",
+		s.Hits, s.Misses, s.Damaged, s.Stored)
+}

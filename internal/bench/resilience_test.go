@@ -176,7 +176,7 @@ func TestPredictFaultKeepsExecMeasurements(t *testing.T) {
 		if !inj.CellPlan(sys.Name(), train.Name(), budget, 1, 0).PredictError {
 			continue
 		}
-		rec := runCell(sys, train, test, budget, cfg, 1, inj)
+		rec, _ := runCell(sys, train, test, budget, cfg, 1, inj)
 		if rec.Failure != faults.PredictError {
 			t.Fatalf("failure %q, want predict-error", rec.Failure)
 		}

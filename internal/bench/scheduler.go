@@ -30,8 +30,15 @@ type gridCell struct {
 	// cell yields a failure record instead of silently shrinking the
 	// grid.
 	dsErr error
-	// cached is the journaled record of an already-completed cell.
+	// cached is the already-completed record of the cell — from the
+	// journal, or (fromRepo) decoded out of the evaluation repository.
 	cached *Record
+	// fromRepo marks a cached record that came from the repository
+	// rather than the journal; such cells still append to the journal,
+	// so shard journals stay complete and merges never see holes.
+	fromRepo bool
+	// id is the cell's journal/repository key.
+	id string
 }
 
 // enumerateGrid walks the grid in its canonical order and materializes
@@ -52,10 +59,17 @@ type gridCell struct {
 // shard that owns no cell of a dataset never pays for (or rolls fault
 // decisions about) generating it; the injector's dataset-fault draws
 // are site-keyed, so skipping them cannot perturb any other decision.
-func enumerateGrid(systems []automl.System, cfg Config, inj *faults.Injector, journal *Journal) []gridCell {
+//
+// With cfg.Repo set, every cell the journal does not already cover
+// consults the repository: a verified entry replays its record exactly
+// as a journal checkpoint would (the cell never executes), a miss runs
+// live, and damage follows the repository's policy — counted under
+// AllowDamage, otherwise aborting enumeration. The returned RepoStats
+// reports that traffic (Stored is filled in later by the runners).
+func enumerateGrid(systems []automl.System, cfg Config, inj *faults.Injector, journal *Journal, fingerprint string) ([]gridCell, RepoStats, error) {
+	var stats RepoStats
 	owns := func(string) bool { return true }
 	if cfg.Shard.Enabled() {
-		fingerprint := Fingerprint(systems, cfg)
 		owns = func(id string) bool { return cfg.Shard.Owns(fingerprint, id) }
 	}
 	var cells []gridCell
@@ -93,6 +107,7 @@ func enumerateGrid(systems []automl.System, cfg Config, inj *faults.Injector, jo
 						train:    train,
 						test:     test,
 						dsErr:    dsErr,
+						id:       id,
 					}
 					if journal != nil {
 						if rec, ok := journal.Lookup(id); ok {
@@ -100,12 +115,29 @@ func enumerateGrid(systems []automl.System, cfg Config, inj *faults.Injector, jo
 							cell.cached = &rec
 						}
 					}
+					if cell.cached == nil && cfg.Repo != nil {
+						rec, hit, damaged, err := repoLookup(cfg.Repo, fingerprint, id)
+						if err != nil {
+							return nil, stats, err
+						}
+						switch {
+						case damaged:
+							stats.Damaged++
+							stats.Misses++
+						case hit:
+							stats.Hits++
+							cell.cached = &rec
+							cell.fromRepo = true
+						default:
+							stats.Misses++
+						}
+					}
 					cells = append(cells, cell)
 				}
 			}
 		}
 	}
-	return cells
+	return cells, stats, nil
 }
 
 // fitOutcome carries one Fit attempt's result across the watchdog
@@ -178,14 +210,15 @@ func fitWithWatchdog(sys automl.System, train tabular.View, opts automl.Options,
 	}
 }
 
-// runCellTask executes one enumerated cell and returns its record.
-func runCellTask(c gridCell, cfg Config, inj *faults.Injector) Record {
+// runCellTask executes one enumerated cell and returns its record plus
+// the repository payload (nil when the cell produced no predictions).
+func runCellTask(c gridCell, cfg Config, inj *faults.Injector) (Record, *cellPayload) {
 	if c.dsErr != nil {
 		return Record{
 			System: c.sys.Name(), Dataset: c.spec.Name,
 			Budget: c.budget, Seed: c.cellSeed,
 			Failure: faults.KindOf(c.dsErr, faults.DatasetError), Attempts: cfg.Retry.MaxAttempts,
-		}
+		}, nil
 	}
 	return runCell(c.sys, c.train, c.test, c.budget, cfg, c.cellSeed, inj)
 }
@@ -193,22 +226,38 @@ func runCellTask(c gridCell, cfg Config, inj *faults.Injector) Record {
 // runGridSerial executes the cells one by one in grid order — the
 // historical execution mode, kept as the Workers == 1 path. A journal
 // failure returns the records completed so far alongside the error.
-func runGridSerial(cells []gridCell, cfg Config, inj *faults.Injector, journal *Journal) ([]Record, error) {
+// Repository hits replay without executing but still checkpoint to the
+// journal (a shard journal must cover every owned cell for merges);
+// journal hits never re-append and never consult the repository.
+func runGridSerial(cells []gridCell, cfg Config, inj *faults.Injector, journal *Journal, fingerprint string) ([]Record, int, error) {
+	stored := 0
 	records := make([]Record, 0, len(cells))
 	for _, c := range cells {
 		if c.cached != nil {
+			if c.fromRepo && journal != nil {
+				if err := journal.Append(*c.cached); err != nil {
+					return records, stored, err
+				}
+			}
 			records = append(records, *c.cached)
 			continue
 		}
-		rec := runCellTask(c, cfg, inj)
+		rec, payload := runCellTask(c, cfg, inj)
 		if journal != nil {
 			if err := journal.Append(rec); err != nil {
-				return records, err
+				return records, stored, err
 			}
+		}
+		ok, err := storeCell(cfg.Repo, fingerprint, c.id, rec, payload)
+		if err != nil {
+			return records, stored, err
+		}
+		if ok {
+			stored++
 		}
 		records = append(records, rec)
 	}
-	return records, nil
+	return records, stored, nil
 }
 
 // runGridParallel executes the cells on a bounded worker pool. Each cell
@@ -219,7 +268,7 @@ func runGridSerial(cells []gridCell, cfg Config, inj *faults.Injector, journal *
 // returned records (and therefore every export and figure) byte-identical
 // to a serial run at any worker count; only the journal's on-disk line
 // order varies, and resume replays it by cell identity, not position.
-func runGridParallel(cells []gridCell, cfg Config, inj *faults.Injector, journal *Journal) ([]Record, error) {
+func runGridParallel(cells []gridCell, cfg Config, inj *faults.Injector, journal *Journal, fingerprint string) ([]Record, int, error) {
 	records := make([]Record, len(cells))
 	work := make(chan int)
 	var (
@@ -227,6 +276,7 @@ func runGridParallel(cells []gridCell, cfg Config, inj *faults.Injector, journal
 		failed   atomic.Bool
 		errOnce  sync.Once
 		firstErr error
+		stored   atomic.Int64
 	)
 	fail := func(err error) {
 		errOnce.Do(func() { firstErr = err })
@@ -245,12 +295,20 @@ func runGridParallel(cells []gridCell, cfg Config, inj *faults.Injector, journal
 				if failed.Load() {
 					continue // drain remaining work after a failure
 				}
-				rec := runCellTask(cells[ci], cfg, inj)
+				rec, payload := runCellTask(cells[ci], cfg, inj)
 				if journal != nil {
 					if err := journal.Append(rec); err != nil {
 						fail(err)
 						continue
 					}
+				}
+				ok, err := storeCell(cfg.Repo, fingerprint, cells[ci].id, rec, payload)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				if ok {
+					stored.Add(1)
 				}
 				records[ci] = rec
 			}
@@ -258,6 +316,12 @@ func runGridParallel(cells []gridCell, cfg Config, inj *faults.Injector, journal
 	}
 	for ci := range cells {
 		if c := cells[ci]; c.cached != nil {
+			if c.fromRepo && journal != nil {
+				if err := journal.Append(*c.cached); err != nil {
+					fail(err)
+					break
+				}
+			}
 			records[ci] = *c.cached
 			continue
 		}
@@ -266,7 +330,7 @@ func runGridParallel(cells []gridCell, cfg Config, inj *faults.Injector, journal
 	close(work)
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, int(stored.Load()), firstErr
 	}
-	return records, nil
+	return records, int(stored.Load()), nil
 }

@@ -245,7 +245,7 @@ func TestJournalAppendFailureDrainsWorkers(t *testing.T) {
 		}
 		return nil
 	}
-	_, err = runGrid(DefaultSystems(), withWorkers(cfg, 4), j)
+	_, _, err = runGrid(DefaultSystems(), withWorkers(cfg, 4), j)
 	j.Close()
 	if err == nil || !strings.Contains(err.Error(), "journal device failure") {
 		t.Fatalf("journal failure returned %v, want the injected device error", err)

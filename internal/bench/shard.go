@@ -178,6 +178,9 @@ type ShardRun struct {
 	// while resuming; the affected cells were rerun, but the damage is
 	// surfaced rather than silent.
 	Damaged int
+	// Repo reports the run's evaluation-repository traffic; the zero
+	// value means no repository was configured.
+	Repo RepoStats
 }
 
 // RunShard executes the cfg.Shard slice of the grid with a journal at
@@ -191,7 +194,11 @@ func RunShard(systems []automl.System, cfg Config, path string) (ShardRun, error
 		return ShardRun{}, err
 	}
 	if path == "" {
-		return ShardRun{Records: RunGrid(systems, cfg)}, nil
+		records, stats, err := runGrid(systems, cfg, nil)
+		if err != nil {
+			return ShardRun{}, err
+		}
+		return ShardRun{Records: records, Repo: stats}, nil
 	}
 	j, err := openJournal(path, Fingerprint(systems, cfg), cfg.Shard)
 	if err != nil {
@@ -201,11 +208,11 @@ func RunShard(systems []automl.System, cfg Config, path string) (ShardRun, error
 	if hook := chaosKillHookFromEnv(); hook != nil {
 		j.crash = hook
 	}
-	records, err := runGrid(systems, cfg, j)
+	records, stats, err := runGrid(systems, cfg, j)
 	if err != nil {
 		return ShardRun{}, err
 	}
-	return ShardRun{Records: records, Damaged: j.Discarded()}, nil
+	return ShardRun{Records: records, Damaged: j.Discarded(), Repo: stats}, nil
 }
 
 func validateShard(cfg Config) error {

@@ -345,7 +345,10 @@ func TestEnumerateGridShardsLazily(t *testing.T) {
 	}
 	scfg := cfg
 	scfg.Shard = spec
-	cells := enumerateGrid(systems, scfg, faults.New(scfg.Faults), nil)
+	cells, _, err := enumerateGrid(systems, scfg, faults.New(scfg.Faults), nil, fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range cells {
 		if !spec.Owns(fingerprint, cellID(c.sys.Name(), c.spec.Name, c.budget, c.cellSeed)) {
 			t.Fatalf("enumerated cell %s/%s not owned by shard %s", c.sys.Name(), c.spec.Name, spec)

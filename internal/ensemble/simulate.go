@@ -1,0 +1,145 @@
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/ml"
+)
+
+// Ensemble simulation over cached predictions (TabRepo, PAPERS.md):
+// once every member's per-row probabilities are persisted in the
+// evaluation repository, the whole ensembling pipeline — selection,
+// weighting, blending, scoring — runs without refitting or even
+// re-predicting anything. The only compute is loading slabs and
+// arithmetic over them, which SimulateSelection accounts for in its
+// returned Cost so callers can charge the (tiny) energy honestly
+// rather than pretending simulation is free.
+
+// SimResult is the outcome of one simulated ensemble construction.
+type SimResult struct {
+	// Weights holds Caruana selection counts per member, over the
+	// selection half of the rows.
+	Weights []float64
+	// SelectionScore is the ensemble's balanced accuracy on the rows the
+	// selection saw (the optimistic, in-sample number).
+	SelectionScore float64
+	// HoldoutScore is the ensemble's balanced accuracy on the held-back
+	// rows — the honest estimate of what the ensemble would have scored.
+	HoldoutScore float64
+	// BestSingle is the best individual member's balanced accuracy on
+	// the same holdout rows, the baseline the ensemble must beat.
+	BestSingle float64
+	// ActiveMembers counts members with positive weight.
+	ActiveMembers int
+	// Cost is the total simulation compute: slab lookup (reads), the
+	// Caruana selection loop, and blend + scoring flops. All Generic —
+	// simulation touches no trees and no matrices.
+	Cost ml.Cost
+}
+
+// SimulateSelection runs greedy ensemble selection over cached member
+// probabilities. probas[m] holds member m's probability rows for the
+// cell's test set, labels the true labels. Rows with even index form
+// the selection half, odd rows the holdout half — a deterministic
+// interleave, so every simulation of the same cell partitions
+// identically and both halves see the dataset's row-order distribution.
+func SimulateSelection(probas [][][]float64, labels []int, classes, rounds int) (SimResult, error) {
+	if len(probas) < 2 {
+		return SimResult{}, errors.New("ensemble: simulation needs at least two members")
+	}
+	n := len(labels)
+	if n < 4 {
+		return SimResult{}, fmt.Errorf("ensemble: %d rows cannot form selection and holdout halves", n)
+	}
+	for m, proba := range probas {
+		if len(proba) != n {
+			return SimResult{}, fmt.Errorf("ensemble: member %d has %d rows, want %d", m, len(proba), n)
+		}
+	}
+
+	var cost ml.Cost
+	// Lookup: every member's full slab is read once from the store.
+	cost.Generic += float64(len(probas)) * float64(n) * float64(classes)
+
+	selIdx := make([]int, 0, (n+1)/2)
+	holdIdx := make([]int, 0, n/2)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			selIdx = append(selIdx, i)
+		} else {
+			holdIdx = append(holdIdx, i)
+		}
+	}
+	gather := func(idx []int) ([][][]float64, []int) {
+		sub := make([][][]float64, len(probas))
+		for m := range probas {
+			rows := make([][]float64, len(idx))
+			for k, i := range idx {
+				rows[k] = probas[m][i]
+			}
+			sub[m] = rows
+		}
+		y := make([]int, len(idx))
+		for k, i := range idx {
+			y[k] = labels[i]
+		}
+		return sub, y
+	}
+	selProbas, selY := gather(selIdx)
+	holdProbas, holdY := gather(holdIdx)
+
+	sel, err := CaruanaSelect(selProbas, selY, classes, rounds)
+	if err != nil {
+		return SimResult{}, err
+	}
+	cost.Add(sel.Cost)
+
+	// Blend the holdout rows under the selected weights and score.
+	blend := make([][]float64, len(holdIdx))
+	var totalWeight float64
+	for _, w := range sel.Weights {
+		totalWeight += w
+	}
+	active := 0
+	for k := range blend {
+		blend[k] = make([]float64, classes)
+	}
+	for m, w := range sel.Weights {
+		if w <= 0 {
+			continue
+		}
+		active++
+		for k, row := range holdProbas[m] {
+			for j := 0; j < classes && j < len(row); j++ {
+				blend[k][j] += w * row[j]
+			}
+		}
+	}
+	if totalWeight <= 0 {
+		return SimResult{}, errors.New("ensemble: selection produced no weights")
+	}
+	cost.Generic += float64(active)*float64(len(holdIdx))*float64(classes)*2 +
+		float64(len(holdIdx))*float64(classes)
+	holdScore := metrics.BalancedAccuracy(holdY, metrics.ArgmaxRows(blend), classes)
+
+	// Best single member on the same holdout rows.
+	best := -1.0
+	for m := range holdProbas {
+		s := metrics.BalancedAccuracy(holdY, metrics.ArgmaxRows(holdProbas[m]), classes)
+		if s > best {
+			best = s
+		}
+	}
+	cost.Generic += float64(len(probas)) * float64(len(holdIdx)) * float64(classes)
+
+	return SimResult{
+		Weights:        sel.Weights,
+		SelectionScore: sel.Score,
+		HoldoutScore:   holdScore,
+		BestSingle:     best,
+		ActiveMembers:  active,
+		Cost:           cost,
+	}, nil
+}

@@ -1,0 +1,89 @@
+package ensemble
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// simMembers builds synthetic cached predictions: member 0 is good on
+// class 0, member 1 on class 1, member 2 is noise. Labels alternate in
+// blocks so both halves of the deterministic interleave see all classes.
+func simMembers(n int) (probas [][][]float64, labels []int) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = (i / 2) % 2
+	}
+	mk := func(acc0, acc1 float64) [][]float64 {
+		rows := make([][]float64, n)
+		for i := range rows {
+			acc := acc0
+			if labels[i] == 1 {
+				acc = acc1
+			}
+			p := 0.5 + (acc-0.5)*(0.6+0.4*rng.Float64())
+			if labels[i] == 0 {
+				rows[i] = []float64{p, 1 - p}
+			} else {
+				rows[i] = []float64{1 - p, p}
+			}
+		}
+		return rows
+	}
+	return [][][]float64{mk(0.95, 0.55), mk(0.55, 0.95), mk(0.5, 0.5)}, labels
+}
+
+func TestSimulateSelection(t *testing.T) {
+	probas, labels := simMembers(200)
+	res, err := SimulateSelection(probas, labels, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveMembers < 1 || res.ActiveMembers > 3 {
+		t.Fatalf("active members %d", res.ActiveMembers)
+	}
+	if res.HoldoutScore <= 0.5 {
+		t.Fatalf("holdout score %v not above chance", res.HoldoutScore)
+	}
+	// The complementary members should ensemble above the best single.
+	if res.HoldoutScore < res.BestSingle-1e-9 {
+		t.Fatalf("ensemble %v worse than best single %v", res.HoldoutScore, res.BestSingle)
+	}
+	if res.Cost.Total() <= 0 || res.Cost.Tree != 0 || res.Cost.Matrix != 0 {
+		t.Fatalf("simulation cost should be positive and purely generic: %+v", res.Cost)
+	}
+}
+
+func TestSimulateSelectionDeterministic(t *testing.T) {
+	probas, labels := simMembers(120)
+	a, err := SimulateSelection(probas, labels, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSelection(probas, labels, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HoldoutScore != b.HoldoutScore || a.SelectionScore != b.SelectionScore || a.Cost != b.Cost {
+		t.Fatalf("non-deterministic simulation: %+v vs %+v", a, b)
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("weights differ at %d", i)
+		}
+	}
+}
+
+func TestSimulateSelectionValidation(t *testing.T) {
+	probas, labels := simMembers(40)
+	if _, err := SimulateSelection(probas[:1], labels, 2, 4); err == nil {
+		t.Fatal("single member accepted")
+	}
+	if _, err := SimulateSelection(probas, labels[:2], 2, 4); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	short := [][][]float64{probas[0][:3], probas[1][:3]}
+	if _, err := SimulateSelection(short, labels[:3], 2, 4); err == nil {
+		t.Fatal("too few rows accepted")
+	}
+}

@@ -215,6 +215,18 @@ func TestMeteredCostServeFixture(t *testing.T) {
 	}
 }
 
+// TestMeteredCostRepoFixture covers the evaluation-repository-shaped
+// paths: simulated-ensemble analyses load cached predictions, and
+// "cached" tempts callers into dropping the lookup and blend ml.Cost.
+// The simulation's claim — tiny but measured energy — collapses if any
+// path skips metering, so the check must catch repo-shaped drops.
+func TestMeteredCostRepoFixture(t *testing.T) {
+	findings := checkFixture(t, filepath.Join("meteredcost", "repo"))
+	if len(findings) == 0 {
+		t.Fatal("meteredcost repo fixture produced no findings; the CI gate would pass vacuously")
+	}
+}
+
 func TestHotAllocFixture(t *testing.T) {
 	findings := checkFixture(t, "hotalloc")
 	if len(findings) == 0 {

@@ -1,0 +1,86 @@
+// Package repocost is a greenlint golden-file fixture shaped like the
+// evaluation repository's simulated-ensemble analyses: a cell lookup
+// returns cached prediction probabilities plus the ml.Cost of loading
+// and blending them. "The predictions were cached" tempts callers into
+// treating the analysis as free — but the lookup, decode and blend are
+// real compute, and the whole point of simulating ensembles under the
+// meter is that "almost free" is measured, never assumed. Dropping the
+// lookup cost on any path is therefore an unmetered-energy bug.
+package repocost
+
+import (
+	"errors"
+
+	"repro/internal/ml"
+)
+
+type simCell struct {
+	score  float64
+	joules float64
+}
+
+// lookupCell stands in for Repository.Get plus slab decode: cached
+// probabilities and the cost of materializing them.
+func lookupCell(members, rows int) ([][]float64, ml.Cost) {
+	return make([][]float64, rows), ml.Cost{Generic: float64(members*rows) * 3}
+}
+
+// blend stands in for the Caruana selection loop over cached members.
+func blend(probas [][]float64) (float64, ml.Cost) {
+	return 0.5, ml.Cost{Generic: float64(len(probas)) * 100}
+}
+
+// chargeJoules stands in for metering the simulation's compute.
+func chargeJoules(c ml.Cost) float64 {
+	return c.Total()
+}
+
+// cachedIsNotFree models the core repo-shaped bug: the lookup cost is
+// dropped because the predictions "came from the cache" — but decoding
+// the slab was real work the simulation must charge.
+func cachedIsNotFree(members int) simCell {
+	probas, cost := lookupCell(members, 64) // want "\\[meteredcost\\] ml.Cost \"cost\" may go unmetered"
+	if len(probas) < 2 {
+		// Too few members to ensemble; the lookups still happened.
+		return simCell{}
+	}
+	score, blendCost := blend(probas)
+	return simCell{score: score, joules: chargeJoules(cost) + chargeJoules(blendCost)}
+}
+
+// discardedLookupCost models a membership probe that throws the cost
+// away outright: checking whether a cell is stored still decodes it.
+func discardedLookupCost(members int) bool {
+	probas, _ := lookupCell(members, 8) // want "\\[meteredcost\\] ml.Cost result of lookupCell is discarded \\(bound to _\\)"
+	return len(probas) >= 2
+}
+
+// skippedCellDropsBlend models the sparse-store path: a cell with too
+// few members skips the blend, and the early return loses the blend
+// cost the probe already paid.
+func skippedCellDropsBlend(members int) (simCell, error) {
+	probas, cost := lookupCell(members, 32)
+	joules := chargeJoules(cost)
+	score, blendCost := blend(probas) // want "\\[meteredcost\\] ml.Cost \"blendCost\" may go unmetered"
+	if score <= 0 {
+		return simCell{}, errors.New("degenerate blend")
+	}
+	return simCell{score: score, joules: joules + chargeJoules(blendCost)}, nil
+}
+
+// simulateChargesEveryPath is the simulator's actual shape: every cost
+// is converted to joules immediately, before any skip or early return,
+// so sparse cells and degenerate blends still meter their lookups.
+func simulateChargesEveryPath(members int) simCell {
+	probas, cost := lookupCell(members, 64)
+	joules := chargeJoules(cost)
+	if len(probas) < 2 {
+		return simCell{joules: joules}
+	}
+	score, blendCost := blend(probas)
+	joules += chargeJoules(blendCost)
+	if score <= 0 {
+		return simCell{joules: joules}
+	}
+	return simCell{score: score, joules: joules}
+}
